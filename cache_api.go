@@ -1,0 +1,71 @@
+package rapwam
+
+import (
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Trace is a captured memory-reference trace: the interchange format
+// between the abstract machine and the cache simulators (the paper's
+// Figure 1 pipeline).
+type Trace struct {
+	buf *trace.Buffer
+}
+
+// Len returns the number of references.
+func (t *Trace) Len() int { return t.buf.Len() }
+
+// WriteTo serializes the trace in the binary trace-file format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.buf.WriteTo(w) }
+
+// ReadTrace parses a binary trace file.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	buf := &trace.Buffer{}
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return &Trace{buf: buf}, nil
+}
+
+// Protocol re-exports the coherency protocol selector.
+type Protocol = cache.Protocol
+
+// Coherency protocols (see the cache package for semantics).
+const (
+	// WriteThrough is the conventional write-through invalidate cache.
+	WriteThrough = cache.WriteThrough
+	// WriteInBroadcast is the invalidation-based broadcast (copyback)
+	// cache.
+	WriteInBroadcast = cache.WriteInBroadcast
+	// WriteThroughBroadcast is the update-based broadcast cache.
+	WriteThroughBroadcast = cache.WriteThroughBroadcast
+	// Hybrid is the paper's tag-driven write-through-global /
+	// copyback-local scheme.
+	Hybrid = cache.Hybrid
+	// Copyback is a plain write-back cache (single PE only).
+	Copyback = cache.Copyback
+)
+
+// CacheConfig re-exports the cache simulator configuration.
+type CacheConfig = cache.Config
+
+// CacheStats re-exports the simulator's statistics.
+type CacheStats = cache.Stats
+
+// PaperWriteAllocate returns the allocation policy the paper selected
+// for each protocol and cache size.
+func PaperWriteAllocate(p Protocol, sizeWords int) bool {
+	return cache.PaperWriteAllocate(p, sizeWords)
+}
+
+// SimulateCache replays a trace through one cache configuration.
+func SimulateCache(t *Trace, cfg CacheConfig) (CacheStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return CacheStats{}, err
+	}
+	sim := cache.New(cfg)
+	t.buf.Replay(sim)
+	return sim.Stats(), nil
+}

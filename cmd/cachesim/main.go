@@ -1,0 +1,116 @@
+// Command cachesim replays a RAP-WAM memory-reference trace through a
+// coherent cache configuration and reports traffic and miss statistics
+// (the second stage of the paper's Figure 1 pipeline).
+//
+// Usage:
+//
+//	cachesim -size 512 -line 4 -pes 8 -protocol broadcast trace.rwt
+//	cachesim -sweep -pes 8 trace.rwt     # paper-style size sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+var protocols = map[string]rapwam.Protocol{
+	"write-through": rapwam.WriteThrough,
+	"broadcast":     rapwam.WriteInBroadcast,
+	"update":        rapwam.WriteThroughBroadcast,
+	"hybrid":        rapwam.Hybrid,
+	"copyback":      rapwam.Copyback,
+}
+
+func main() {
+	var (
+		size     = flag.Int("size", 512, "cache size in words (per PE)")
+		line     = flag.Int("line", 4, "line size in words")
+		pes      = flag.Int("pes", 1, "number of PEs (caches)")
+		protoStr = flag.String("protocol", "broadcast", "write-through | broadcast | update | hybrid | copyback")
+		alloc    = flag.String("allocate", "paper", "write-allocate policy: paper | yes | no")
+		sweep    = flag.Bool("sweep", false, "sweep cache sizes 64..8192 over all protocols")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cachesim [flags] trace.rwt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := rapwam.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: %d references\n", tr.Len())
+
+	if *sweep {
+		runSweep(tr, *pes, *line)
+		return
+	}
+
+	proto, ok := protocols[*protoStr]
+	if !ok {
+		fatal(fmt.Errorf("unknown protocol %q", *protoStr))
+	}
+	wa := rapwam.PaperWriteAllocate(proto, *size)
+	switch *alloc {
+	case "yes":
+		wa = true
+	case "no":
+		wa = false
+	case "paper":
+	default:
+		fatal(fmt.Errorf("bad -allocate %q", *alloc))
+	}
+	st, err := rapwam.SimulateCache(tr, rapwam.CacheConfig{
+		PEs: *pes, SizeWords: *size, LineWords: *line,
+		Protocol: proto, WriteAllocate: wa,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("protocol:       %v (write-allocate: %v)\n", proto, wa)
+	fmt.Printf("traffic ratio:  %.4f\n", st.TrafficRatio())
+	fmt.Printf("miss ratio:     %.4f\n", st.MissRatio())
+	fmt.Printf("bus words:      %d (fills %d, write-backs %d, write-throughs %d, updates %d)\n",
+		st.BusWords, st.LineFills, st.WriteBacks, st.WriteThroughs, st.Updates)
+	fmt.Printf("invalidations:  %d\n", st.Invalidations)
+}
+
+func runSweep(tr *rapwam.Trace, pes, line int) {
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+	order := []string{"broadcast", "hybrid", "write-through"}
+	fmt.Printf("%-14s", "protocol")
+	for _, s := range sizes {
+		fmt.Printf(" %7dw", s)
+	}
+	fmt.Println()
+	for _, name := range order {
+		proto := protocols[name]
+		fmt.Printf("%-14s", name)
+		for _, s := range sizes {
+			st, err := rapwam.SimulateCache(tr, rapwam.CacheConfig{
+				PEs: pes, SizeWords: s, LineWords: line,
+				Protocol:      proto,
+				WriteAllocate: rapwam.PaperWriteAllocate(proto, s),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf(" %8.4f", st.TrafficRatio())
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachesim:", err)
+	os.Exit(1)
+}

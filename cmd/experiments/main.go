@@ -1,0 +1,141 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all          # everything (takes a minute or two)
+//	experiments -exp table1
+//	experiments -exp fig2 [-maxpes 40]
+//	experiments -exp table2 [-pes 8]
+//	experiments -exp table3
+//	experiments -exp fig4
+//	experiments -exp mlips [-cache 256] [-target 2]
+//	experiments -exp bus [-pes 8] [-cache 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|fig2|table2|table3|fig4|mlips|bus|ablations|all")
+		pes    = flag.Int("pes", 8, "PE count for table2/bus")
+		maxPEs = flag.Int("maxpes", 16, "largest PE count for fig2")
+		cache  = flag.Int("cache", 256, "cache size (words) for mlips/bus")
+		target = flag.Float64("target", 2, "MLIPS target")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		fmt.Print(rapwam.Table1())
+		return nil
+	})
+
+	run("fig2", func() error {
+		counts := []int{1, 2, 4, 8}
+		for n := 12; n <= *maxPEs; n += 4 {
+			counts = append(counts, n)
+		}
+		f, err := rapwam.RunFigure2(counts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.String())
+		return nil
+	})
+
+	run("table2", func() error {
+		t2, err := rapwam.RunTable2(*pes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t2.String())
+		return nil
+	})
+
+	run("table3", func() error {
+		t3, err := rapwam.RunTable3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t3.String())
+		return nil
+	})
+
+	run("fig4", func() error {
+		f, err := rapwam.RunFigure4([]int{1, 2, 4, 8}, []int{64, 128, 256, 512, 1024, 2048, 4096, 8192})
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.String())
+		return nil
+	})
+
+	run("mlips", func() error {
+		m, err := rapwam.RunMLIPS(*cache, *target)
+		if err != nil {
+			return err
+		}
+		fmt.Print(m.String())
+		return nil
+	})
+
+	run("bus", func() error {
+		bs, err := rapwam.RunBusStudy(*pes, *cache)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bs.String())
+		des, err := rapwam.RunBusDES("qsort", *pes, *cache, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(des.String())
+		return nil
+	})
+
+	run("ablations", func() error {
+		g, err := rapwam.RunGranularitySweep([]int{0, 1, 2, 3, 4, 6})
+		if err != nil {
+			return err
+		}
+		fmt.Print(g.String())
+		fmt.Println()
+		l, err := rapwam.RunLineSizeSweep("qsort", 4, 1024, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Print(l.String())
+		fmt.Println()
+		for _, b := range []string{"deriv", "qsort", "matrix"} {
+			ls, err := rapwam.RunLockShare(b, *pes)
+			if err != nil {
+				return err
+			}
+			fmt.Print(ls.String())
+		}
+		fmt.Println()
+		a, err := rapwam.RunAssocSweep("qsort", 4, 1024, []int{1, 2, 4, 8, 0})
+		if err != nil {
+			return err
+		}
+		fmt.Print(a.String())
+		return nil
+	})
+}

@@ -1,0 +1,150 @@
+// Command rapwam runs an &-Prolog program on the RAP-WAM parallel
+// abstract machine and reports the answer plus instrumentation.
+//
+// Usage:
+//
+//	rapwam -q "goal(X)" [-p PEs] [-seq] [-trace out.rwt] [-stats] file.pl
+//	rapwam -bench deriv [-p PEs] [-seq]
+//
+// The program file contains Prolog clauses with optional CGE
+// annotations: (conds | g1 & g2) or plain g1 & g2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		query     = flag.String("q", "", "query goal (required unless -bench)")
+		pes       = flag.Int("p", 1, "number of processing elements")
+		seq       = flag.Bool("seq", false, "compile CGEs sequentially (WAM baseline)")
+		traceOut  = flag.String("trace", "", "write the memory-reference trace to this file")
+		stats     = flag.Bool("stats", false, "print instrumentation statistics")
+		listing   = flag.Bool("listing", false, "print the compiled code and exit")
+		benchName = flag.String("bench", "", "run a built-in benchmark (deriv, tak, qsort, matrix, nrev, queens, primes, zebra)")
+	)
+	flag.Parse()
+
+	if *benchName != "" {
+		runBench(*benchName, *pes, *seq, *stats, *traceOut)
+		return
+	}
+
+	if flag.NArg() != 1 || *query == "" {
+		fmt.Fprintln(os.Stderr, "usage: rapwam -q GOAL [flags] file.pl  |  rapwam -bench NAME [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := rapwam.CompileWithOptions(string(src), *query, rapwam.CompileOptions{Sequential: *seq})
+	if err != nil {
+		fatal(err)
+	}
+	if *listing {
+		fmt.Print(prog.Listing())
+		return
+	}
+	res, err := prog.Run(rapwam.RunConfig{PEs: *pes, CaptureTrace: *traceOut != ""})
+	if err != nil {
+		fatal(err)
+	}
+	report(res, *stats)
+	if *traceOut != "" {
+		writeTrace(res.Trace, *traceOut)
+	}
+	if !res.Success {
+		os.Exit(1)
+	}
+}
+
+func runBench(name string, pes int, seq, stats bool, traceOut string) {
+	b, ok := rapwam.BenchmarkByName(name)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q", name))
+	}
+	if traceOut != "" {
+		tr, err := rapwam.TraceBenchmark(b, pes, seq)
+		if err != nil {
+			fatal(err)
+		}
+		writeTrace(tr, traceOut)
+		fmt.Printf("%s: %d references traced\n", name, tr.Len())
+		return
+	}
+	res, err := rapwam.RunBenchmark(b, pes, seq)
+	if err != nil {
+		fatal(err)
+	}
+	report(res, stats)
+}
+
+func report(res *rapwam.Result, stats bool) {
+	if res.Output != "" {
+		fmt.Print(res.Output)
+		if res.Output[len(res.Output)-1] != '\n' {
+			fmt.Println()
+		}
+	}
+	if !res.Success {
+		fmt.Println("no")
+		return
+	}
+	if len(res.Bindings) == 0 {
+		fmt.Println("yes")
+	} else {
+		names := make([]string, 0, len(res.Bindings))
+		for n := range res.Bindings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%s = %s\n", n, res.Bindings[n])
+		}
+	}
+	if stats {
+		s := res.Stats
+		fmt.Printf("cycles:        %d\n", s.Cycles)
+		fmt.Printf("instructions:  %d\n", s.TotalInstructions())
+		fmt.Printf("inferences:    %d\n", s.Inferences)
+		fmt.Printf("references:    %d (work)\n", s.TotalWorkRefs())
+		fmt.Printf("parcalls:      %d (goals in //: %d, stolen: %d)\n",
+			s.Parcalls, s.GoalsParallel, s.GoalsStolen)
+		fmt.Printf("storage (words): heap=%d local=%d control=%d trail=%d\n",
+			s.MaxHeap, s.MaxLocal, s.MaxControl, s.MaxTrail)
+		byArea := res.Refs.ByArea()
+		fmt.Print("refs by area: ")
+		for a := trace.AreaHeap; a <= trace.AreaMsg; a++ {
+			if n := byArea[a]; n > 0 {
+				fmt.Printf(" %s=%d", a, n)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func writeTrace(tr *rapwam.Trace, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if _, err := tr.WriteTo(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapwam:", err)
+	os.Exit(1)
+}

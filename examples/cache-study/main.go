@@ -1,0 +1,78 @@
+// cache-study reproduces a Figure 4 style protocol comparison on one
+// workload: trace a parallel run once, then replay the trace through
+// the coherency protocols across cache sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	bm, ok := rapwam.BenchmarkByName("qsort")
+	if !ok {
+		log.Fatal("qsort benchmark missing")
+	}
+	const pes = 4
+	tr, err := rapwam.TraceBenchmark(bm, pes, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qsort at %d PEs: %d memory references traced\n\n", pes, tr.Len())
+
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	protocols := []struct {
+		name  string
+		proto rapwam.Protocol
+	}{
+		{"write-in broadcast", rapwam.WriteInBroadcast},
+		{"hybrid (tag-driven)", rapwam.Hybrid},
+		{"write-through", rapwam.WriteThrough},
+	}
+
+	fmt.Printf("%-20s", "traffic ratio")
+	for _, s := range sizes {
+		fmt.Printf(" %6dw", s)
+	}
+	fmt.Println()
+	for _, p := range protocols {
+		fmt.Printf("%-20s", p.name)
+		for _, s := range sizes {
+			st, err := rapwam.SimulateCache(tr, rapwam.CacheConfig{
+				PEs: pes, SizeWords: s, LineWords: 4,
+				Protocol:      p.proto,
+				WriteAllocate: rapwam.PaperWriteAllocate(p.proto, s),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %7.3f", st.TrafficRatio())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe paper's Figure 4 ordering: broadcast lowest, hybrid close behind,")
+	fmt.Println("conventional write-through flat and high (every write goes to the bus).")
+
+	// Bus feasibility at the chosen design point.
+	st, err := rapwam.SimulateCache(tr, rapwam.CacheConfig{
+		PEs: pes, SizeWords: 512, LineWords: 4,
+		Protocol:      rapwam.WriteInBroadcast,
+		WriteAllocate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := rapwam.BusAnalytic(rapwam.BusParams{
+		PEs: pes, RefsPerCycle: 1,
+		TrafficRatio:     st.TrafficRatio(),
+		BusWordsPerCycle: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWith 512-word broadcast caches and a 2-word/cycle bus: utilization %.0f%%, efficiency %.0f%%\n",
+		100*r.Utilization, 100*r.Efficiency)
+}

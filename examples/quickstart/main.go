@@ -1,0 +1,50 @@
+// Quickstart: compile an &-Prolog program, run it on 1 and 8 processing
+// elements, and look at the answer, the speedup and the memory behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const program = `
+% Parallel Fibonacci: the two recursive calls are independent (their
+% arguments are ground), so they form an unconditional CGE.
+fib(0, 0).
+fib(1, 1).
+fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,
+	(fib(N1, F1) & fib(N2, F2)),
+	F is F1 + F2.
+`
+
+func main() {
+	prog, err := rapwam.Compile(program, "fib(17, F)")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seq, err := prog.Run(rapwam.RunConfig{PEs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := prog.Run(rapwam.RunConfig{PEs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fib(17) = %s\n\n", par.Bindings["F"])
+	fmt.Printf("1 PE : %8d cycles, %8d work references\n",
+		seq.Stats.Cycles, seq.Stats.TotalWorkRefs())
+	fmt.Printf("8 PEs: %8d cycles, %8d work references, %d goals in parallel (%d stolen)\n",
+		par.Stats.Cycles, par.Stats.TotalWorkRefs(),
+		par.Stats.GoalsParallel, par.Stats.GoalsStolen)
+	fmt.Printf("speedup: %.2fx\n\n", float64(seq.Stats.Cycles)/float64(par.Stats.Cycles))
+
+	fmt.Printf("reference mix at 8 PEs (paper Table 1 classification):\n")
+	for area, n := range par.Refs.ByArea() {
+		fmt.Printf("  %-8s %8d\n", area, n)
+	}
+	fmt.Printf("global (shared) share: %.1f%%\n", 100*par.Refs.GlobalShare())
+}

@@ -1,0 +1,83 @@
+// scheduler-trace visualizes RAP-WAM's on-demand scheduling: which PE
+// executed how much work, how goals flowed through the goal stacks, and
+// how the Table 1 storage classes were exercised.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+const program = `
+% An irregular parallel tree: node costs differ wildly, so goal
+% stealing has to balance the load.
+cost(0, 1).
+cost(N, C) :- N > 0, M is N - 1, cost(M, C1), C is C1 + 1.
+
+tree(0, 1).
+tree(D, N) :- D > 0, D1 is D - 1, W is D * 40,
+	(tree(D1, A) & tree(D1, B)),
+	cost(W, _),
+	N is A + B.
+`
+
+func main() {
+	prog, err := rapwam.Compile(program, "tree(7, N)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Run(rapwam.RunConfig{PEs: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tree(7) = %s leaves\n\n", res.Bindings["N"])
+	fmt.Printf("parcalls: %d   goals in parallel: %d   stolen: %d   steal probes: %d\n\n",
+		res.Stats.Parcalls, res.Stats.GoalsParallel, res.Stats.GoalsStolen, res.Stats.StealProbes)
+
+	fmt.Println("per-PE activity (cycles):")
+	total := res.Stats.Cycles
+	for pe := range res.Stats.WorkRefs {
+		run := res.Stats.RunCycles[pe]
+		wait := res.Stats.WaitCycles[pe]
+		idle := res.Stats.IdleCycles[pe]
+		bar := func(n int64) string {
+			w := int(40 * n / total)
+			return strings.Repeat("#", w)
+		}
+		fmt.Printf("  pe%-2d run %6d %-40s\n", pe, run, bar(run))
+		fmt.Printf("       wait%6d %-40s\n", wait, bar(wait))
+		fmt.Printf("       idle%6d %-40s\n", idle, bar(idle))
+	}
+
+	fmt.Println("\nreference classification (paper Table 1):")
+	for obj, ops := range enumerateObjs(res) {
+		fmt.Printf("  %-16s reads %8d  writes %8d\n", obj, ops[0], ops[1])
+	}
+}
+
+// enumerateObjs flattens the by-object counter into a printable map.
+func enumerateObjs(res *rapwam.Result) map[string][2]int64 {
+	out := map[string][2]int64{}
+	for obj, ops := range res.Refs.ByObj {
+		if ops[0]+ops[1] == 0 {
+			continue
+		}
+		name := fmt.Sprint(objName(obj))
+		out[name] = [2]int64{ops[0], ops[1]}
+	}
+	return out
+}
+
+func objName(i int) string {
+	// trace.ObjType strings, indexed positionally.
+	names := []string{"none", "envt/control", "envt/pvars", "choicepoint",
+		"heap", "trail", "pdl", "parcall/local", "parcall/global",
+		"parcall/counts", "marker", "goalframe", "message"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("obj%d", i)
+}

@@ -1,0 +1,125 @@
+package rapwam
+
+import (
+	"repro/internal/busmodel"
+	"repro/internal/experiments"
+)
+
+// This file re-exports the experiment drivers that regenerate the
+// paper's tables and figures. Each returns structured data with a
+// String() rendering.
+
+// Table1 renders the storage-object classification (paper Table 1).
+func Table1() string { return experiments.Table1() }
+
+// Figure2 re-exports the deriv overhead sweep result type.
+type Figure2 = experiments.Figure2
+
+// RunFigure2 sweeps deriv work/overhead over the given PE counts
+// (paper Figure 2 plots 1 to 40).
+func RunFigure2(peCounts []int) (*Figure2, error) {
+	return experiments.RunFigure2(peCounts)
+}
+
+// Table2 re-exports the benchmark-statistics result type.
+type Table2 = experiments.Table2
+
+// RunTable2 gathers benchmark statistics at the given PE count (the
+// paper uses 8).
+func RunTable2(pes int) (*Table2, error) { return experiments.RunTable2(pes) }
+
+// Table3 re-exports the locality-fit result type.
+type Table3 = experiments.Table3
+
+// RunTable3 computes the small-vs-large benchmark locality fit at the
+// paper's 512 and 1024 word cache sizes.
+func RunTable3() (*Table3, error) { return experiments.RunTable3() }
+
+// Figure4 re-exports the coherency-traffic sweep result type.
+type Figure4 = experiments.Figure4
+
+// RunFigure4 sweeps traffic ratio over cache sizes, protocols and PE
+// counts (paper Figure 4).
+func RunFigure4(peCounts, sizes []int) (*Figure4, error) {
+	return experiments.RunFigure4(peCounts, sizes)
+}
+
+// MLIPS re-exports the §3.3 feasibility calculation result type.
+type MLIPS = experiments.MLIPS
+
+// RunMLIPS re-derives the paper's 2 MLIPS back-of-the-envelope
+// calculation from measured statistics.
+func RunMLIPS(cacheWords int, targetMLIPS float64) (*MLIPS, error) {
+	return experiments.RunMLIPS(cacheWords, targetMLIPS)
+}
+
+// BusStudy re-exports the bus-contention study result type.
+type BusStudy = experiments.BusStudy
+
+// RunBusStudy tabulates shared-memory efficiency against bus bandwidth
+// for the given configuration.
+func RunBusStudy(pes, cacheWords int) (*BusStudy, error) {
+	return experiments.RunBusStudy(pes, cacheWords)
+}
+
+// BusParams re-exports the analytic bus model parameters.
+type BusParams = busmodel.Params
+
+// BusResult re-exports the analytic bus model result.
+type BusResult = busmodel.Result
+
+// BusAnalytic evaluates the M/M/1 bus contention approximation.
+func BusAnalytic(p BusParams) (BusResult, error) { return busmodel.Analytic(p) }
+
+// BusMaxPEs returns the largest PE count keeping efficiency at or above
+// target for the given load.
+func BusMaxPEs(p BusParams, target float64) (int, error) {
+	return busmodel.MaxPEs(p, target)
+}
+
+// GranularitySweep re-exports the CGE granularity ablation result type.
+type GranularitySweep = experiments.GranularitySweep
+
+// RunGranularitySweep varies deriv's parallelism depth budget,
+// quantifying the parallelism-vs-overhead tradeoff of CGE annotation
+// granularity.
+func RunGranularitySweep(depths []int) (*GranularitySweep, error) {
+	return experiments.RunGranularitySweep(depths)
+}
+
+// LineSizeSweep re-exports the cache line-size ablation result type.
+type LineSizeSweep = experiments.LineSizeSweep
+
+// RunLineSizeSweep replays a benchmark trace across cache line sizes
+// (the paper fixes 4-word lines; this shows where that sits).
+func RunLineSizeSweep(benchName string, pes, sizeWords int, lines []int) (*LineSizeSweep, error) {
+	return experiments.RunLineSizeSweep(benchName, pes, sizeWords, lines)
+}
+
+// LockShare re-exports the synchronization-traffic measurement type.
+type LockShare = experiments.LockShare
+
+// RunLockShare measures the fraction of references to locked objects
+// (goal stack, parcall counters, messages).
+func RunLockShare(benchName string, pes int) (*LockShare, error) {
+	return experiments.RunLockShare(benchName, pes)
+}
+
+// BusDES re-exports the discrete-event bus validation type.
+type BusDES = experiments.BusDES
+
+// RunBusDES replays real bus transactions through the discrete-event
+// bus simulator and cross-checks the analytic M/M/1 model.
+func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) (*BusDES, error) {
+	return experiments.RunBusDES(benchName, pes, cacheWords, busWordsPerCycle)
+}
+
+// AssocSweep re-exports the associativity ablation result type.
+type AssocSweep = experiments.AssocSweep
+
+// RunAssocSweep compares the paper's fully associative cache model with
+// set-associative caches of the same capacity (0 ways = fully
+// associative).
+func RunAssocSweep(benchName string, pes, sizeWords int, ways []int) (*AssocSweep, error) {
+	return experiments.RunAssocSweep(benchName, pes, sizeWords, ways)
+}

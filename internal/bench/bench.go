@@ -1,0 +1,583 @@
+// Package bench provides the paper's benchmark programs in &-Prolog
+// (Prolog + CGE annotations) together with deterministic input
+// generators and runners:
+//
+//   - deriv:  symbolic differentiation of a large arithmetic expression
+//   - tak:    Takeuchi's function with three-way AND-parallelism
+//   - qsort:  quicksort with difference lists, parallel recursion
+//   - matrix: naive matrix multiplication, parallel over rows
+//
+// and the "large sequential benchmark" reference set standing in for
+// Tick's large Prolog programs in the Table 3 locality-fit study:
+//
+//   - nrev:   naive reverse of a long list
+//   - queens: N-queens first solution (deep backtracking)
+//   - primes: sieve of Eratosthenes
+//   - zebra:  the five-houses constraint puzzle (heavy backtracking)
+//
+// The exact 1988 inputs were not published; generators are sized so
+// that instruction and reference counts land in the same range as the
+// paper's Table 2 (tens of thousands of instructions, ~1e5-5e5
+// references at 8 PEs).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Benchmark is a runnable Prolog workload.
+type Benchmark struct {
+	// Name identifies the benchmark ("deriv", "tak", ...).
+	Name string
+	// Source is the &-Prolog program text.
+	Source string
+	// Query is the goal to run (without "?-").
+	Query string
+	// Check validates the result (nil-able).
+	Check func(*core.Result) error
+	// Parallel reports whether the program contains CGEs.
+	Parallel bool
+}
+
+// lcg is a small deterministic generator so benchmark inputs are
+// reproducible without math/rand (and stable across Go versions).
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 33
+}
+
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+// Paper returns the four benchmarks of the paper's Table 2, with inputs
+// sized to approximate its scale.
+func Paper() []Benchmark {
+	return []Benchmark{Deriv(), Tak(), Qsort(), Matrix()}
+}
+
+// Large returns the sequential locality-reference suite (Table 3's
+// "large benchmarks").
+func Large() []Benchmark {
+	return []Benchmark{NRev(), Queens(), Primes(), Zebra()}
+}
+
+// ByName finds a benchmark, including the ablation variants
+// ("deriv-checked", "deriv-d<N>").
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range append(Paper(), Large()...) {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	if name == "deriv-checked" {
+		return DerivChecked(), true
+	}
+	var depth int
+	if n, err := fmt.Sscanf(name, "deriv-d%d", &depth); err == nil && n == 1 && depth >= 0 && depth <= 16 {
+		return DerivDepth(depth), true
+	}
+	return Benchmark{}, false
+}
+
+// RunConfig parameterizes a benchmark run.
+type RunConfig struct {
+	// PEs is the number of workers.
+	PEs int
+	// Sequential compiles CGEs away (the WAM baseline).
+	Sequential bool
+	// Sink receives the full memory trace (nil to skip tracing).
+	Sink trace.Sink
+	// Layout overrides worker memory sizes (zero = default).
+	Layout mem.Layout
+}
+
+// Run compiles and executes the benchmark.
+func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
+	code, err := compile.Compile(b.Source, b.Query, compile.Options{Sequential: cfg.Sequential})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	eng, err := core.New(code, core.Config{
+		PEs:    cfg.PEs,
+		Layout: cfg.Layout,
+		Sink:   cfg.Sink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	if b.Check != nil {
+		if err := b.Check(res); err != nil {
+			return nil, fmt.Errorf("bench %s: wrong answer: %w", b.Name, err)
+		}
+	}
+	return res, nil
+}
+
+func expectSuccess(res *core.Result) error {
+	if !res.Success {
+		return fmt.Errorf("query failed")
+	}
+	return nil
+}
+
+func expectBinding(name, want string) func(*core.Result) error {
+	return func(res *core.Result) error {
+		if !res.Success {
+			return fmt.Errorf("query failed")
+		}
+		if got := res.Bindings[name]; got != want {
+			return fmt.Errorf("%s = %.60s..., want %.60s...", name, got, want)
+		}
+		return nil
+	}
+}
+
+// --- deriv ---
+
+// derivSource parallelizes the top levels of the expression tree only
+// (granularity control: pd/4 carries a depth budget and falls back to
+// the sequential d/3 below it). The input is ground, so the paper's
+// compile-time analysis would remove all run-time independence checks;
+// the CGEs are therefore unconditional. derivCheckedSource keeps the
+// checks for the ablation study.
+const derivSource = `
+% Driver: differentiate the same expression N times, as the classical
+% deriv benchmarks do to reach measurable run lengths. The expression is
+% re-derived (and the result rebuilt) on every iteration.
+dloop(0, _).
+dloop(N, E) :- N > 0, pd(E, x, _, 2), M is N - 1, dloop(M, E).
+
+% Parallel top levels (depth-bounded AND-parallelism).
+pd(U+V, X, DU+DV, N) :- N > 0, !, M is N - 1,
+	(pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(U-V, X, DU-DV, N) :- N > 0, !, M is N - 1,
+	(pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(U*V, X, DU*V+U*DV, N) :- N > 0, !, M is N - 1,
+	(pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(U/V, X, (DU*V-U*DV)/(V*V), N) :- N > 0, !, M is N - 1,
+	(pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(E, X, D, _) :- d(E, X, D).
+
+% Sequential symbolic differentiation.
+d(U+V, X, DU+DV) :- d(U, X, DU), d(V, X, DV).
+d(U-V, X, DU-DV) :- d(U, X, DU), d(V, X, DV).
+d(U*V, X, DU*V+U*DV) :- d(U, X, DU), d(V, X, DV).
+d(U/V, X, (DU*V-U*DV)/(V*V)) :- d(U, X, DU), d(V, X, DV).
+d(-U, X, -DU) :- d(U, X, DU).
+d(exp(U), X, exp(U)*DU) :- d(U, X, DU).
+d(log(U), X, DU/U) :- d(U, X, DU).
+d(X, X, 1) :- !.
+d(C, _, 0) :- atomic(C).
+`
+
+// derivCheckedSource is the run-time-checked variant: every CGE guards
+// with ground/1, as written by a programmer without global analysis.
+// Used by the check-overhead ablation.
+const derivCheckedSource = `
+dloop(0, _).
+dloop(N, E) :- N > 0, pd(E, x, _, 2), M is N - 1, dloop(M, E).
+pd(U+V, X, DU+DV, N) :- N > 0, !, M is N - 1,
+	(ground(U+V) | pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(U-V, X, DU-DV, N) :- N > 0, !, M is N - 1,
+	(ground(U-V) | pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(U*V, X, DU*V+U*DV, N) :- N > 0, !, M is N - 1,
+	(ground(U*V) | pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(U/V, X, (DU*V-U*DV)/(V*V), N) :- N > 0, !, M is N - 1,
+	(ground(U*V) | pd(U, X, DU, M) & pd(V, X, DV, M)).
+pd(E, X, D, _) :- d(E, X, D).
+d(U+V, X, DU+DV) :- d(U, X, DU), d(V, X, DV).
+d(U-V, X, DU-DV) :- d(U, X, DU), d(V, X, DV).
+d(U*V, X, DU*V+U*DV) :- d(U, X, DU), d(V, X, DV).
+d(U/V, X, (DU*V-U*DV)/(V*V)) :- d(U, X, DU), d(V, X, DV).
+d(-U, X, -DU) :- d(U, X, DU).
+d(exp(U), X, exp(U)*DU) :- d(U, X, DU).
+d(log(U), X, DU/U) :- d(U, X, DU).
+d(X, X, 1) :- !.
+d(C, _, 0) :- atomic(C).
+`
+
+// derivExpr builds a deterministic arithmetic expression with the given
+// number of binary nodes.
+func derivExpr(binaryNodes int) string {
+	rng := &lcg{s: 88172645463325252}
+	var build func(n int) string
+	build = func(n int) string {
+		if n <= 0 {
+			if rng.intn(3) == 0 {
+				return fmt.Sprintf("%d", 1+rng.intn(9))
+			}
+			return "x"
+		}
+		// occasionally wrap in a unary node
+		if rng.intn(6) == 0 {
+			switch rng.intn(3) {
+			case 0:
+				return "exp(" + build(n-1) + ")"
+			case 1:
+				return "log(" + build(n-1) + ")"
+			default:
+				return "- (" + build(n-1) + ")"
+			}
+		}
+		left := (n - 1) / 2
+		right := n - 1 - left
+		op := []string{"+", "-", "*", "/"}[rng.intn(4)]
+		return "(" + build(left) + " " + op + " " + build(right) + ")"
+	}
+	return build(binaryNodes)
+}
+
+// Deriv returns the deriv benchmark, sized so the sequential run
+// executes ~35k instructions (paper Table 2: 33520).
+func Deriv() Benchmark {
+	return Benchmark{
+		Name:     "deriv",
+		Source:   derivSource,
+		Query:    fmt.Sprintf("D = done, dloop(40, %s)", derivExpr(24)),
+		Check:    expectSuccess,
+		Parallel: true,
+	}
+}
+
+// DerivSized returns deriv with a custom expression size (Figure 2's
+// processor sweep uses the standard size; examples use smaller ones).
+func DerivSized(binaryNodes int) Benchmark {
+	b := Deriv()
+	b.Query = fmt.Sprintf("pd(%s, x, D, 2)", derivExpr(binaryNodes))
+	return b
+}
+
+// DerivDepth returns deriv with a custom parallelism depth budget (the
+// granularity-control ablation: depth 0 is fully sequential, each
+// additional level doubles the available parallelism).
+func DerivDepth(depth int) Benchmark {
+	b := Deriv()
+	b.Name = fmt.Sprintf("deriv-d%d", depth)
+	b.Query = fmt.Sprintf("D = done, dloop(40, %s)", derivExpr(24))
+	b.Source = strings.Replace(derivSource,
+		"dloop(N, E) :- N > 0, pd(E, x, _, 2), M is N - 1, dloop(M, E).",
+		fmt.Sprintf("dloop(N, E) :- N > 0, pd(E, x, _, %d), M is N - 1, dloop(M, E).", depth), 1)
+	return b
+}
+
+// DerivChecked returns deriv with run-time ground/1 checks on every
+// CGE — the ablation for the cost of run-time independence checking.
+func DerivChecked() Benchmark {
+	b := Deriv()
+	b.Name = "deriv-checked"
+	b.Source = derivCheckedSource
+	return b
+}
+
+// --- tak ---
+
+const takSource = `
+% Takeuchi's function with three-way AND-parallel recursion at the top
+% levels (ptak/5 carries a depth budget). Arguments are ground integers,
+% so the calls are independent and the CGE needs no run-time checks.
+ptak(X, Y, Z, A, _) :- X =< Y, !, A = Z.
+ptak(X, Y, Z, A, N) :- N > 0, !, M is N - 1,
+	X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+	(ptak(X1, Y, Z, A1, M) & ptak(Y1, Z, X, A2, M) & ptak(Z1, X, Y, A3, M)),
+	ptak(A1, A2, A3, A, M).
+ptak(X, Y, Z, A, _) :- tak(X, Y, Z, A).
+
+tak(X, Y, Z, A) :- X =< Y, !, A = Z.
+tak(X, Y, Z, A) :-
+	X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+	tak(X1, Y, Z, A1), tak(Y1, Z, X, A2), tak(Z1, X, Y, A3),
+	tak(A1, A2, A3, A).
+`
+
+// takValue computes tak in Go for answer checking.
+func takValue(x, y, z int) int {
+	if x <= y {
+		return z
+	}
+	return takValue(takValue(x-1, y, z), takValue(y-1, z, x), takValue(z-1, x, y))
+}
+
+// Tak returns the tak benchmark, sized so the sequential run executes
+// ~73k instructions (paper Table 2: 75254).
+func Tak() Benchmark {
+	const x, y, z = 13, 8, 4
+	return Benchmark{
+		Name:     "tak",
+		Source:   takSource,
+		Query:    fmt.Sprintf("ptak(%d, %d, %d, A, 4)", x, y, z),
+		Check:    expectBinding("A", fmt.Sprintf("%d", takValue(x, y, z))),
+		Parallel: true,
+	}
+}
+
+// --- qsort ---
+
+const qsortSource = `
+% Quicksort with difference lists (the paper's formulation). The two
+% recursive calls construct disjoint parts of the result; they are run
+% in AND-parallel unconditionally, as in the paper (this is the classic
+% non-strict-independence example: R1 is shared but only consumed by
+% one side and constructed by the other).
+qsort(L, S) :- pqs(L, S, [], 6).
+pqs(L, R, R0, 0) :- !, qs(L, R, R0).
+pqs([], R, R, _).
+pqs([X|L], R, R0, N) :-
+	part(L, X, L1, L2), M is N - 1,
+	(pqs(L1, R, [X|R1], M) & pqs(L2, R1, R0, M)).
+qs([], R, R).
+qs([X|L], R, R0) :-
+	part(L, X, L1, L2),
+	qs(L1, R, [X|R1]), qs(L2, R1, R0).
+part([], _, [], []).
+part([E|R], C, [E|L1], L2) :- E < C, !, part(R, C, L1, L2).
+part([E|R], C, L1, [E|L2]) :- part(R, C, L1, L2).
+`
+
+func qsortInput(n int) []int {
+	rng := &lcg{s: 424242}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.intn(10 * n)
+	}
+	return out
+}
+
+func intsToProlog(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, v := range xs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Qsort returns the qsort benchmark.
+func Qsort() Benchmark {
+	in := qsortInput(700) // ~237k instructions (paper Table 2: 237884)
+	sorted := append([]int(nil), in...)
+	sort.Ints(sorted)
+	return Benchmark{
+		Name:     "qsort",
+		Source:   qsortSource,
+		Query:    fmt.Sprintf("qsort(%s, S)", intsToProlog(in)),
+		Check:    expectBinding("S", intsToProlog(sorted)),
+		Parallel: true,
+	}
+}
+
+// --- matrix ---
+
+const matrixSource = `
+% Naive matrix multiplication, parallel over result rows (the paper's
+% coarse-granularity benchmark). The second matrix is supplied
+% transposed so every element is a vector dot product.
+mmult([], _, []).
+mmult([R|Rs], C, [X|Xs]) :- (mrow(R, C, X) & mmult(Rs, C, Xs)).
+mrow(_, [], []).
+mrow(R, [C|Cs], [E|Es]) :- vmul(R, C, E), mrow(R, Cs, Es).
+vmul([], [], 0).
+vmul([A|As], [B|Bs], S) :- vmul(As, Bs, S1), S is S1 + A*B.
+`
+
+func matrixInput(n int) ([][]int, [][]int) {
+	rng := &lcg{s: 1234567}
+	a := make([][]int, n)
+	b := make([][]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int, n)
+		b[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = rng.intn(10)
+			b[i][j] = rng.intn(10)
+		}
+	}
+	return a, b
+}
+
+func matToProlog(m [][]int) string {
+	rows := make([]string, len(m))
+	for i, r := range m {
+		rows[i] = intsToProlog(r)
+	}
+	return "[" + strings.Join(rows, ",") + "]"
+}
+
+// Matrix returns the matrix multiplication benchmark (12x12 as in the
+// paper: 12 row-parcalls = 24 goals in parallel; ~48k instructions vs
+// the paper's 95349 — same order, and the same refs/instruction ratio
+// of ~1.0).
+func Matrix() Benchmark {
+	const n = 12
+	a, b := matrixInput(n)
+	// transpose b
+	bt := make([][]int, n)
+	for i := range bt {
+		bt[i] = make([]int, n)
+		for j := range bt[i] {
+			bt[i][j] = b[j][i]
+		}
+	}
+	// expected product
+	prod := make([][]int, n)
+	for i := range prod {
+		prod[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			s := 0
+			for k := 0; k < n; k++ {
+				s += a[i][k] * b[k][j]
+			}
+			prod[i][j] = s
+		}
+	}
+	return Benchmark{
+		Name:     "matrix",
+		Source:   matrixSource,
+		Query:    fmt.Sprintf("mmult(%s, %s, P)", matToProlog(a), matToProlog(bt)),
+		Check:    expectBinding("P", matToProlog(prod)),
+		Parallel: true,
+	}
+}
+
+// --- large sequential reference suite ---
+
+const nrevSource = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+`
+
+// NRev returns naive reverse of a 220-element list (~24k logical
+// inferences, a classic WAM locality workload).
+func NRev() Benchmark {
+	n := 220
+	in := make([]int, n)
+	rev := make([]int, n)
+	for i := 0; i < n; i++ {
+		in[i] = i
+		rev[n-1-i] = i
+	}
+	return Benchmark{
+		Name:   "nrev",
+		Source: nrevSource,
+		Query:  fmt.Sprintf("nrev(%s, R)", intsToProlog(in)),
+		Check:  expectBinding("R", intsToProlog(rev)),
+	}
+}
+
+const queensSource = `
+% N-queens, first solution, classic generate and test with heavy
+% backtracking (choice-point and trail exercise).
+queens(N, Qs) :- range(1, N, Ns), queens3(Ns, [], Qs).
+queens3([], Qs, Qs).
+queens3(UnplacedQs, SafeQs, Qs) :-
+	sel(UnplacedQs, UnplacedQs1, Q),
+	not_attack(SafeQs, Q, 1),
+	queens3(UnplacedQs1, [Q|SafeQs], Qs).
+not_attack([], _, _).
+not_attack([Y|Ys], Q, N) :-
+	Q =\= Y + N, Q =\= Y - N,
+	N1 is N + 1,
+	not_attack(Ys, Q, N1).
+sel([X|Xs], Xs, X).
+sel([Y|Ys], [Y|Zs], X) :- sel(Ys, Zs, X).
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+`
+
+// Queens returns 8-queens (first solution).
+func Queens() Benchmark {
+	return Benchmark{
+		Name:   "queens",
+		Source: queensSource,
+		Query:  "queens(8, Qs)",
+		Check:  expectSuccess,
+	}
+}
+
+const primesSource = `
+% Sieve of Eratosthenes over a generated integer list.
+primes(N, Ps) :- range2(2, N, Ns), sift(Ns, Ps).
+sift([], []).
+sift([P|Ns], [P|Ps]) :- filter(Ns, P, Left), sift(Left, Ps).
+filter([], _, []).
+filter([X|Xs], P, Out) :- M is X mod P, keep(M, X, Xs, P, Out).
+keep(0, _, Xs, P, Out) :- filter(Xs, P, Out).
+keep(M, X, Xs, P, [X|Out]) :- M > 0, filter(Xs, P, Out).
+range2(N, N, [N]) :- !.
+range2(M, N, [M|Ns]) :- M < N, M1 is M + 1, range2(M1, N, Ns).
+`
+
+// Primes sieves up to 1000.
+func Primes() Benchmark {
+	return Benchmark{
+		Name:   "primes",
+		Source: primesSource,
+		Query:  "primes(1000, Ps)",
+		Check: func(res *core.Result) error {
+			if !res.Success {
+				return fmt.Errorf("query failed")
+			}
+			if !strings.HasPrefix(res.Bindings["Ps"], "[2,3,5,7,11,13,") {
+				return fmt.Errorf("Ps = %.40s...", res.Bindings["Ps"])
+			}
+			if !strings.HasSuffix(res.Bindings["Ps"], ",991,997]") {
+				return fmt.Errorf("Ps ends %.40s", res.Bindings["Ps"][len(res.Bindings["Ps"])-40:])
+			}
+			return nil
+		},
+	}
+}
+
+const zebraSource = `
+% The five-houses ("zebra") puzzle: pure unification and member/select
+% backtracking over a constraint network.
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+next_to(A, B, [A,B|_]).
+next_to(A, B, [B,A|_]).
+next_to(A, B, [_|T]) :- next_to(A, B, T).
+right_of(A, B, [B,A|_]).
+right_of(A, B, [_|T]) :- right_of(A, B, T).
+first(X, [X|_]).
+middle(X, [_,_,X,_,_]).
+
+zebra(Owner) :-
+	Houses = [h(_,_,_,_,_), h(_,_,_,_,_), h(_,_,_,_,_), h(_,_,_,_,_), h(_,_,_,_,_)],
+	member(h(england, red, _, _, _), Houses),
+	member(h(spain, _, dog, _, _), Houses),
+	member(h(_, green, _, coffee, _), Houses),
+	member(h(ukraine, _, _, tea, _), Houses),
+	right_of(h(_, green, _, _, _), h(_, ivory, _, _, _), Houses),
+	member(h(_, _, snails, _, oldgold), Houses),
+	member(h(_, yellow, _, _, kools), Houses),
+	middle(h(_, _, _, milk, _), Houses),
+	first(h(norway, _, _, _, _), Houses),
+	next_to(h(_, _, _, _, chesterfield), h(_, _, fox, _, _), Houses),
+	next_to(h(_, _, _, _, kools), h(_, _, horse, _, _), Houses),
+	member(h(_, _, _, juice, luckystrike), Houses),
+	member(h(japan, _, _, _, parliament), Houses),
+	next_to(h(norway, _, _, _, _), h(_, blue, _, _, _), Houses),
+	member(h(Owner, _, zebra, _, _), Houses).
+`
+
+// Zebra returns the five-houses puzzle.
+func Zebra() Benchmark {
+	return Benchmark{
+		Name:   "zebra",
+		Source: zebraSource,
+		Query:  "zebra(Owner)",
+		Check:  expectBinding("Owner", "japan"),
+	}
+}

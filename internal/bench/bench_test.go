@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPaperBenchmarksSequential(t *testing.T) {
+	for _, b := range Paper() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := Run(b, RunConfig{PEs: 1, Sequential: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: instrs=%d refs=%d cycles=%d", b.Name,
+				res.Stats.TotalInstructions(), res.Refs.Total(), res.Stats.Cycles)
+		})
+	}
+}
+
+func TestPaperBenchmarksParallel8(t *testing.T) {
+	for _, b := range Paper() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := Run(b, RunConfig{PEs: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.GoalsParallel == 0 {
+				t.Error("no parallel goals")
+			}
+			t.Logf("%s: instrs=%d refs=%d cycles=%d goals//=%d stolen=%d",
+				b.Name, res.Stats.TotalInstructions(), res.Refs.Total(),
+				res.Stats.Cycles, res.Stats.GoalsParallel, res.Stats.GoalsStolen)
+		})
+	}
+}
+
+func TestLargeBenchmarks(t *testing.T) {
+	for _, b := range Large() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := Run(b, RunConfig{PEs: 1, Sequential: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: instrs=%d refs=%d", b.Name,
+				res.Stats.TotalInstructions(), res.Refs.Total())
+		})
+	}
+}
+
+func TestParallelResultsMatchSequentialResults(t *testing.T) {
+	for _, b := range Paper() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			seq, err := Run(b, RunConfig{PEs: 1, Sequential: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Run(b, RunConfig{PEs: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, want := range seq.Bindings {
+				if got := par.Bindings[name]; got != want {
+					t.Errorf("%s: %s differs between parallel and sequential", b.Name, name)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"deriv", "tak", "qsort", "matrix", "nrev", "queens", "primes", "zebra"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) missing", name)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestDerivSpeedsUpWithPEs(t *testing.T) {
+	b := Deriv()
+	var prev int64
+	for i, pes := range []int{1, 4} {
+		res, err := Run(b, RunConfig{PEs: pes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Stats.Cycles >= prev {
+			t.Errorf("deriv with %d PEs: %d cycles, not faster than %d", pes, res.Stats.Cycles, prev)
+		}
+		prev = res.Stats.Cycles
+	}
+}
+
+func TestTakValueIsClassic(t *testing.T) {
+	if takValue(18, 12, 6) != 7 {
+		t.Errorf("takValue(18,12,6) = %d, want 7", takValue(18, 12, 6))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	if Deriv().Query != Deriv().Query {
+		t.Error("deriv query not deterministic")
+	}
+	if Qsort().Query != Qsort().Query {
+		t.Error("qsort query not deterministic")
+	}
+	if Matrix().Query != Matrix().Query {
+		t.Error("matrix query not deterministic")
+	}
+}
+
+func ExampleRun() {
+	res, err := Run(Tak(), RunConfig{PEs: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("A =", res.Bindings["A"])
+	// Output: A = 8
+}

@@ -1,0 +1,208 @@
+package cache
+
+// store is the per-PE line container: fully associative (the paper's
+// model) or set-associative (the hardware-realism extension).
+type store interface {
+	lookup(line int32) *entry
+	touch(e *entry)
+	insert(line int32, st state) (victim *entry)
+	invalidate(line int32) bool
+	len() int
+	forEach(f func(*entry))
+}
+
+// assocCache is a fully associative cache with perfect LRU replacement,
+// matching the paper's cache model ("Caches are modeled as fully
+// associative memories with perfect LRU replacement"). It is a hash map
+// from line address to entry plus an intrusive doubly-linked LRU list.
+type assocCache struct {
+	capacity int
+	entries  map[int32]*entry
+	lru      entry // sentinel: lru.next is most recent, lru.prev least
+	free     []*entry
+}
+
+type entry struct {
+	line       int32
+	st         state
+	prev, next *entry
+}
+
+func newAssocCache(lines int) *assocCache {
+	c := &assocCache{
+		capacity: lines,
+		entries:  make(map[int32]*entry, lines),
+	}
+	c.lru.next = &c.lru
+	c.lru.prev = &c.lru
+	// Preallocate all entries up front: no allocation during simulation.
+	pool := make([]entry, lines)
+	c.free = make([]*entry, lines)
+	for i := range pool {
+		c.free[i] = &pool[i]
+	}
+	return c
+}
+
+// lookup returns the entry for line, or nil on miss. It does not touch
+// LRU order; callers use touch on hits.
+func (c *assocCache) lookup(line int32) *entry { return c.entries[line] }
+
+// touch moves e to the most-recently-used position.
+func (c *assocCache) touch(e *entry) {
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *assocCache) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *assocCache) pushFront(e *entry) {
+	e.next = c.lru.next
+	e.prev = &c.lru
+	c.lru.next.prev = e
+	c.lru.next = e
+}
+
+// insert adds line with the given state, evicting the LRU entry if the
+// cache is full. It returns the evicted victim (with its pre-eviction
+// state) or nil. The caller must not retain the victim pointer.
+func (c *assocCache) insert(line int32, st state) *entry {
+	if e := c.entries[line]; e != nil {
+		e.st = st
+		c.touch(e)
+		return nil
+	}
+	var victim *entry
+	var e *entry
+	if len(c.free) > 0 {
+		e = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		// Evict least recently used.
+		v := c.lru.prev
+		c.unlink(v)
+		delete(c.entries, v.line)
+		victimCopy := *v
+		victim = &victimCopy
+		e = v
+	}
+	e.line = line
+	e.st = st
+	c.entries[line] = e
+	c.pushFront(e)
+	return victim
+}
+
+// invalidate removes line if present, reporting whether it was held.
+func (c *assocCache) invalidate(line int32) bool {
+	e := c.entries[line]
+	if e == nil {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, line)
+	c.free = append(c.free, e)
+	return true
+}
+
+// len returns the number of resident lines.
+func (c *assocCache) len() int { return len(c.entries) }
+
+// forEach visits every resident entry.
+func (c *assocCache) forEach(f func(*entry)) {
+	for e := c.lru.next; e != &c.lru; e = e.next {
+		f(e)
+	}
+}
+
+// setAssocCache is an N-way set-associative cache with per-set LRU —
+// the hardware-realizable variant used by the associativity ablation.
+type setAssocCache struct {
+	ways int
+	sets [][]*entry // each set ordered most-recent first
+	mask int32
+	n    int
+}
+
+func newSetAssocCache(lines, ways int) *setAssocCache {
+	numSets := lines / ways
+	if numSets < 1 {
+		numSets = 1
+		ways = lines
+	}
+	return &setAssocCache{
+		ways: ways,
+		sets: make([][]*entry, numSets),
+		mask: int32(numSets - 1),
+	}
+}
+
+func (c *setAssocCache) set(line int32) int { return int(line & c.mask) }
+
+func (c *setAssocCache) lookup(line int32) *entry {
+	for _, e := range c.sets[c.set(line)] {
+		if e.line == line {
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *setAssocCache) touch(e *entry) {
+	s := c.sets[c.set(e.line)]
+	for i, x := range s {
+		if x == e {
+			copy(s[1:i+1], s[:i])
+			s[0] = e
+			return
+		}
+	}
+}
+
+func (c *setAssocCache) insert(line int32, st state) *entry {
+	if e := c.lookup(line); e != nil {
+		e.st = st
+		c.touch(e)
+		return nil
+	}
+	idx := c.set(line)
+	s := c.sets[idx]
+	var victim *entry
+	if len(s) >= c.ways {
+		v := s[len(s)-1]
+		victimCopy := *v
+		victim = &victimCopy
+		s = s[:len(s)-1]
+		c.n--
+	}
+	e := &entry{line: line, st: st}
+	c.sets[idx] = append([]*entry{e}, s...)
+	c.n++
+	return victim
+}
+
+func (c *setAssocCache) invalidate(line int32) bool {
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i, e := range s {
+		if e.line == line {
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			c.n--
+			return true
+		}
+	}
+	return false
+}
+
+func (c *setAssocCache) len() int { return c.n }
+
+func (c *setAssocCache) forEach(f func(*entry)) {
+	for _, s := range c.sets {
+		for _, e := range s {
+			f(e)
+		}
+	}
+}

@@ -1,0 +1,531 @@
+// Package cache implements the paper's trace-driven multiprocessor cache
+// simulator: per-PE fully associative caches with perfect LRU replacement
+// and a shared bus, under the coherency protocols compared in the paper:
+//
+//   - conventional write-through with invalidation (the "historically
+//     first" coherent cache: every write goes to the bus),
+//   - write-in broadcast (distributed invalidation-based copyback,
+//     Goodman-style: private dirty lines, invalidate shared copies on
+//     write),
+//   - write-through broadcast (distributed update-based: writes to
+//     shared lines update remote copies in one bus cycle),
+//   - hybrid (the paper's firmware-controlled scheme: references tagged
+//     Global per Table 1 are written through, references tagged Local
+//     are copied back; shared memory stays consistent for global data),
+//   - pure copyback (write-back; coherent only for single-PE traces,
+//     used as the sequential locality reference).
+//
+// Performance is reported primarily as the traffic ratio: words moved on
+// the bus divided by words referenced by the processors, with a line
+// fill or dirty write-back costing LineWords words and a write-through
+// word, broadcast update or invalidation costing one word.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Protocol selects a coherency scheme.
+type Protocol uint8
+
+const (
+	// WriteThrough is the conventional write-through invalidate cache.
+	WriteThrough Protocol = iota
+	// WriteInBroadcast is the invalidation-based broadcast (copyback)
+	// cache.
+	WriteInBroadcast
+	// WriteThroughBroadcast is the update-based broadcast cache.
+	WriteThroughBroadcast
+	// Hybrid is the paper's tag-driven write-through-global /
+	// copyback-local scheme.
+	Hybrid
+	// Copyback is a plain write-back cache with no coherency actions;
+	// valid as a reference point for single-PE (sequential) traces.
+	Copyback
+
+	numProtocols = int(Copyback) + 1
+)
+
+var protocolNames = [...]string{
+	WriteThrough:          "write-through",
+	WriteInBroadcast:      "write-in-broadcast",
+	WriteThroughBroadcast: "write-through-broadcast",
+	Hybrid:                "hybrid",
+	Copyback:              "copyback",
+}
+
+// Protocols lists every protocol in declaration order.
+func Protocols() []Protocol {
+	out := make([]Protocol, numProtocols)
+	for i := range out {
+		out[i] = Protocol(i)
+	}
+	return out
+}
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	if int(p) < len(protocolNames) {
+		return protocolNames[p]
+	}
+	return fmt.Sprintf("protocol(%d)", uint8(p))
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// PEs is the number of processors (and caches).
+	PEs int
+	// SizeWords is the per-PE cache size in words.
+	SizeWords int
+	// LineWords is the cache line (block) size in words; the paper uses
+	// four-word lines throughout.
+	LineWords int
+	// Protocol selects the coherency scheme.
+	Protocol Protocol
+	// WriteAllocate fetches the line on a write miss when true; the
+	// paper found no-write-allocate best for small caches (64-256
+	// words) and write-allocate best at 512-1024 words (except hybrid
+	// at 512).
+	WriteAllocate bool
+	// Assoc selects N-way set associativity; 0 means fully associative
+	// (the paper's model).
+	Assoc int
+}
+
+// PaperWriteAllocate returns the allocation policy the paper selected for
+// a given protocol and cache size ("These selections were made on the
+// basis of the policy which produced the lowest traffic"): write-allocate
+// from 512 words upward, except the hybrid cache which still used
+// no-write-allocate at 512 words.
+func PaperWriteAllocate(p Protocol, sizeWords int) bool {
+	if sizeWords < 512 {
+		return false
+	}
+	if p == Hybrid && sizeWords == 512 {
+		return false
+	}
+	return true
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.PEs <= 0 {
+		return fmt.Errorf("cache: PEs = %d, need >= 1", c.PEs)
+	}
+	if c.LineWords <= 0 || c.LineWords&(c.LineWords-1) != 0 {
+		return fmt.Errorf("cache: LineWords = %d, need power of two >= 1", c.LineWords)
+	}
+	if c.SizeWords < c.LineWords {
+		return fmt.Errorf("cache: SizeWords = %d smaller than line %d", c.SizeWords, c.LineWords)
+	}
+	if int(c.Protocol) >= numProtocols {
+		return fmt.Errorf("cache: unknown protocol %d", c.Protocol)
+	}
+	if c.Protocol == Copyback && c.PEs > 1 {
+		return fmt.Errorf("cache: copyback is not coherent; valid for 1 PE only, got %d", c.PEs)
+	}
+	if c.Assoc < 0 || (c.Assoc > 0 && c.SizeWords/c.LineWords%c.Assoc != 0) {
+		return fmt.Errorf("cache: associativity %d does not divide %d lines", c.Assoc, c.SizeWords/c.LineWords)
+	}
+	if c.Assoc > 0 {
+		sets := c.SizeWords / c.LineWords / c.Assoc
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("cache: %d sets is not a power of two", sets)
+		}
+	}
+	return nil
+}
+
+// Stats accumulates simulation results.
+type Stats struct {
+	Refs   int64 // processor references (words)
+	Reads  int64
+	Writes int64
+
+	ReadMisses  int64
+	WriteMisses int64 // write references that missed (even if not allocated)
+
+	BusWords      int64 // total words moved on the bus
+	LineFills     int64 // line fetches (each LineWords words)
+	WriteBacks    int64 // dirty line write-backs (each LineWords words)
+	WriteThroughs int64 // single-word writes to memory
+	Updates       int64 // single-word broadcast updates to remote caches
+	Invalidations int64 // remote copies invalidated (bookkeeping; the
+	// invalidating bus word is already counted in
+	// WriteThroughs or as one bus word)
+}
+
+// Misses returns total misses (read + write).
+func (s Stats) Misses() int64 { return s.ReadMisses + s.WriteMisses }
+
+// TrafficRatio returns bus words per processor reference word — the
+// paper's primary metric.
+func (s Stats) TrafficRatio() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.BusWords) / float64(s.Refs)
+}
+
+// MissRatio returns misses per reference.
+func (s Stats) MissRatio() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Refs)
+}
+
+// line state
+type state uint8
+
+const (
+	stateShared    state = iota // clean, possibly in other caches
+	stateExclusive              // clean, only this cache
+	stateModified               // dirty, only this cache
+)
+
+// Sim is a multiprocessor cache simulation. It implements trace.Sink, so
+// it can be attached directly to the engine or fed from a trace.Buffer.
+type Sim struct {
+	cfg        Config
+	caches     []store
+	stats      Stats
+	lineShift  uint
+	perPEBus   []int64 // bus words attributed to each PE (for bus model)
+	perPERefs  []int64
+	flushCount int64
+	// OnBus, when set, observes every bus transaction: the issuing PE,
+	// the transaction length in words, and the reference index at issue
+	// time (a proxy clock for the discrete-event bus model).
+	OnBus func(pe, words int, refIndex int64)
+}
+
+// New builds a simulator; it panics on invalid configuration (the
+// experiment drivers validate first via Config.Validate).
+func New(cfg Config) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineWords {
+		shift++
+	}
+	s := &Sim{
+		cfg:       cfg,
+		caches:    make([]store, cfg.PEs),
+		lineShift: shift,
+		perPEBus:  make([]int64, cfg.PEs),
+		perPERefs: make([]int64, cfg.PEs),
+	}
+	lines := cfg.SizeWords / cfg.LineWords
+	for i := range s.caches {
+		if cfg.Assoc > 0 {
+			s.caches[i] = newSetAssocCache(lines, cfg.Assoc)
+		} else {
+			s.caches[i] = newAssocCache(lines)
+		}
+	}
+	return s
+}
+
+// Config returns the simulation configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// PerPEBusWords returns bus words attributed to each PE.
+func (s *Sim) PerPEBusWords() []int64 { return s.perPEBus }
+
+// PerPERefs returns processor references per PE.
+func (s *Sim) PerPERefs() []int64 { return s.perPERefs }
+
+// bus charges words of bus traffic to pe.
+func (s *Sim) bus(pe int, words int64) {
+	s.stats.BusWords += words
+	s.perPEBus[pe] += words
+	if s.OnBus != nil {
+		s.OnBus(pe, int(words), s.stats.Refs)
+	}
+}
+
+// othersHolding reports whether any cache other than pe holds the line,
+// and returns one holder whose copy is Modified (or -1).
+func (s *Sim) othersHolding(pe int, line int32) (held bool, dirtyPE int) {
+	dirtyPE = -1
+	for i, c := range s.caches {
+		if i == pe {
+			continue
+		}
+		if e := c.lookup(line); e != nil {
+			held = true
+			if e.st == stateModified {
+				dirtyPE = i
+			}
+		}
+	}
+	return held, dirtyPE
+}
+
+// invalidateOthers removes the line from all caches except pe.
+func (s *Sim) invalidateOthers(pe int, line int32) {
+	for i, c := range s.caches {
+		if i == pe {
+			continue
+		}
+		if c.invalidate(line) {
+			s.stats.Invalidations++
+		}
+	}
+}
+
+// updateOthers marks remote copies updated (word broadcast); they remain
+// Shared. Returns whether any remote copy existed.
+func (s *Sim) updateOthers(pe int, line int32) bool {
+	any := false
+	for i, c := range s.caches {
+		if i == pe {
+			continue
+		}
+		if e := c.lookup(line); e != nil {
+			any = true
+			// Remote copy receives the word; its state stays Shared
+			// (an updated copy can never be Modified).
+			e.st = stateShared
+		}
+	}
+	return any
+}
+
+// fill inserts the line into pe's cache with the given state, charging a
+// line fetch and any write-back of the evicted victim.
+func (s *Sim) fill(pe int, line int32, st state) *entry {
+	s.stats.LineFills++
+	s.bus(pe, int64(s.cfg.LineWords))
+	victim := s.caches[pe].insert(line, st)
+	if victim != nil && victim.st == stateModified {
+		s.stats.WriteBacks++
+		s.bus(pe, int64(s.cfg.LineWords))
+	}
+	return s.caches[pe].lookup(line)
+}
+
+// fetchCoherent performs the coherence work for a line fetch in the
+// broadcast protocols: if a remote cache holds the line Modified it
+// supplies the data and memory is updated (one extra line of traffic),
+// and the resulting local state is Shared if any remote copy remains.
+func (s *Sim) fetchCoherent(pe int, line int32) state {
+	held, dirtyPE := s.othersHolding(pe, line)
+	if dirtyPE >= 0 {
+		// Owner writes the line back (memory reflection) and keeps a
+		// now-clean shared copy.
+		s.stats.WriteBacks++
+		s.bus(dirtyPE, int64(s.cfg.LineWords))
+	}
+	if held {
+		// Every remote holder sees the fetch on the bus and demotes
+		// its copy to Shared.
+		for i, c := range s.caches {
+			if i == pe {
+				continue
+			}
+			if e := c.lookup(line); e != nil {
+				e.st = stateShared
+			}
+		}
+		return stateShared
+	}
+	return stateExclusive
+}
+
+// Add processes one reference. It implements trace.Sink.
+func (s *Sim) Add(r trace.Ref) {
+	pe := int(r.PE)
+	if pe >= s.cfg.PEs {
+		// References from PEs outside the simulated machine are
+		// ignored; experiment drivers always size PEs to the trace.
+		return
+	}
+	line := int32(r.Addr >> s.lineShift)
+	s.stats.Refs++
+	s.perPERefs[pe]++
+	if r.Op == trace.OpRead {
+		s.stats.Reads++
+		s.read(pe, line)
+	} else {
+		s.stats.Writes++
+		s.write(pe, line, r.Obj)
+	}
+}
+
+func (s *Sim) read(pe int, line int32) {
+	c := s.caches[pe]
+	if e := c.lookup(line); e != nil {
+		c.touch(e)
+		return
+	}
+	s.stats.ReadMisses++
+	switch s.cfg.Protocol {
+	case WriteThrough:
+		// Memory is always current; plain fill.
+		s.fill(pe, line, stateShared)
+	case Copyback:
+		s.fill(pe, line, stateExclusive)
+	case WriteInBroadcast, WriteThroughBroadcast:
+		st := s.fetchCoherent(pe, line)
+		s.fill(pe, line, st)
+	case Hybrid:
+		// Memory is consistent for global data (written through) and
+		// local data is never remotely cached, so a plain fill
+		// suffices; remote state is unaffected.
+		held, _ := s.othersHolding(pe, line)
+		st := stateExclusive
+		if held {
+			st = stateShared
+		}
+		s.fill(pe, line, st)
+	}
+}
+
+func (s *Sim) write(pe int, line int32, obj trace.ObjType) {
+	c := s.caches[pe]
+	e := c.lookup(line)
+	if e == nil {
+		s.stats.WriteMisses++
+	} else {
+		c.touch(e)
+	}
+	switch s.cfg.Protocol {
+	case WriteThrough:
+		// Every write appears on the bus as one word; the bus write
+		// also serves as the invalidation signal.
+		s.stats.WriteThroughs++
+		s.bus(pe, 1)
+		s.invalidateOthers(pe, line)
+		if e == nil && s.cfg.WriteAllocate {
+			s.fill(pe, line, stateShared)
+		}
+
+	case Copyback:
+		if e != nil {
+			e.st = stateModified
+			return
+		}
+		if s.cfg.WriteAllocate {
+			s.fill(pe, line, stateModified)
+		} else {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+		}
+
+	case WriteInBroadcast:
+		if e != nil {
+			switch e.st {
+			case stateModified:
+				// silent
+			case stateExclusive:
+				e.st = stateModified
+			case stateShared:
+				// One bus cycle invalidates all remote copies.
+				s.bus(pe, 1)
+				s.invalidateOthers(pe, line)
+				e.st = stateModified
+			}
+			return
+		}
+		if s.cfg.WriteAllocate {
+			// Read-for-ownership: fetch then invalidate remote copies.
+			s.fetchCoherent(pe, line)
+			s.invalidateOthers(pe, line)
+			s.fill(pe, line, stateModified)
+		} else {
+			// Word goes to memory; the bus write invalidates copies.
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+			s.invalidateOthers(pe, line)
+		}
+
+	case WriteThroughBroadcast:
+		if e != nil {
+			switch e.st {
+			case stateModified:
+				// private dirty: silent
+			case stateExclusive:
+				e.st = stateModified
+			case stateShared:
+				// Broadcast the word to remote copies and memory.
+				s.stats.Updates++
+				s.bus(pe, 1)
+				if !s.updateOthers(pe, line) {
+					// No remote copy after all: promote to private.
+					e.st = stateExclusive
+				}
+			}
+			return
+		}
+		if s.cfg.WriteAllocate {
+			st := s.fetchCoherent(pe, line)
+			ne := s.fill(pe, line, st)
+			if st == stateShared {
+				s.stats.Updates++
+				s.bus(pe, 1)
+				s.updateOthers(pe, line)
+			} else if ne != nil {
+				ne.st = stateModified
+			}
+		} else {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+			s.updateOthers(pe, line)
+		}
+
+	case Hybrid:
+		if obj.Global() {
+			// Global data is written through so that shared memory
+			// stays consistent; the bus write invalidates remote
+			// copies. A present line is updated but never dirtied by
+			// a global write.
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+			s.invalidateOthers(pe, line)
+			if e == nil && s.cfg.WriteAllocate {
+				s.fill(pe, line, stateShared)
+			}
+			return
+		}
+		// Local data: copyback. Only the owner ever touches it, so no
+		// coherency actions are needed.
+		if e != nil {
+			e.st = stateModified
+			return
+		}
+		if s.cfg.WriteAllocate {
+			s.fill(pe, line, stateModified)
+		} else {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+		}
+	}
+}
+
+// Flush writes back all dirty lines (end-of-run accounting, optional; the
+// paper's traffic ratios do not include a final flush, so experiment
+// drivers do not call it — it exists for completeness and tests).
+func (s *Sim) Flush() {
+	for pe, c := range s.caches {
+		s.flushPE(pe, c)
+	}
+	s.flushCount++
+}
+
+func (s *Sim) flushPE(pe int, c store) {
+	c.forEach(func(e *entry) {
+		if e.st == stateModified {
+			s.stats.WriteBacks++
+			s.bus(pe, int64(s.cfg.LineWords))
+			e.st = stateShared
+		}
+	})
+}

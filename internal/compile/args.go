@@ -1,0 +1,632 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/parse"
+)
+
+// constWord converts an atomic term to its tagged word.
+func (cc *clauseCtx) constWord(t parse.Term) (mem.Word, bool) {
+	switch a := t.(type) {
+	case parse.Atom:
+		return mem.MakeCon(cc.e.syms.Atom(string(a))), true
+	case parse.Int:
+		return mem.MakeInt(int64(a)), true
+	}
+	return 0, false
+}
+
+// --- head compilation (get/unify in read-write mode) ---
+
+func (cc *clauseCtx) compileHead() error {
+	args := argsOf(cc.head)
+	for i, a := range args {
+		if err := cc.getArg(a, int16(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cc *clauseCtx) getArg(a parse.Term, i int16) error {
+	switch t := a.(type) {
+	case *parse.Var:
+		vi := cc.vars[t]
+		if vi.count == 1 && !vi.perm {
+			return nil // void
+		}
+		if !vi.assigned {
+			vi.assigned = true
+			if vi.perm {
+				cc.e.emit(isa.Instr{Op: isa.OpGetVariableY, R1: vi.yslot, R2: i})
+			} else {
+				cc.e.emit(isa.Instr{Op: isa.OpGetVariableX, R1: vi.xreg, R2: i})
+			}
+			return nil
+		}
+		if vi.perm {
+			cc.e.emit(isa.Instr{Op: isa.OpGetValueY, R1: vi.yslot, R2: i})
+		} else {
+			cc.e.emit(isa.Instr{Op: isa.OpGetValueX, R1: vi.xreg, R2: i})
+		}
+		return nil
+	case parse.Atom:
+		if t == "[]" {
+			cc.e.emit(isa.Instr{Op: isa.OpGetNil, R2: i})
+			return nil
+		}
+		w, _ := cc.constWord(t)
+		cc.e.emit(isa.Instr{Op: isa.OpGetConstant, W: w, R2: i})
+		return nil
+	case parse.Int:
+		w, _ := cc.constWord(t)
+		cc.e.emit(isa.Instr{Op: isa.OpGetConstant, W: w, R2: i})
+		return nil
+	case *parse.Compound:
+		return cc.expandHead(i, t, false)
+	}
+	return fmt.Errorf("unsupported head argument %v", a)
+}
+
+// expandHead emits the get/unify sequence matching a compound head
+// argument held in register reg. Nested compounds are collected into
+// scratch registers and expanded depth-first afterwards (the S register
+// is clobbered by each get_structure, so a level must finish its unify
+// sequence first). Right-nested list/structure spines are walked
+// iteratively and scratch registers are recycled, so register pressure
+// stays bounded even for very long literals. releaseReg indicates reg
+// itself is a scratch register that can be recycled once consumed.
+func (cc *clauseCtx) expandHead(reg int16, t *parse.Compound, releaseReg bool) error {
+	for {
+		if t.Functor == "." && t.Arity() == 2 {
+			cc.e.emit(isa.Instr{Op: isa.OpGetList, R2: reg})
+		} else {
+			f := cc.e.syms.Fun(t.Functor, t.Arity())
+			cc.e.emit(isa.Instr{Op: isa.OpGetStructure, N: int32(f), R2: reg})
+		}
+		if releaseReg {
+			// The get instruction has consumed the register.
+			cc.releaseScratch(reg)
+		}
+		// Emit the unify sequence, deferring nested compounds.
+		type child struct {
+			reg  int16
+			term *parse.Compound
+		}
+		var children []child
+		for _, a := range t.Args {
+			c, ok := a.(*parse.Compound)
+			if !ok {
+				if err := cc.emitUnifyArg(a); err != nil {
+					return err
+				}
+				continue
+			}
+			r, err := cc.freshScratch()
+			if err != nil {
+				return err
+			}
+			cc.e.emit(isa.Instr{Op: isa.OpUnifyVariableX, R1: r})
+			children = append(children, child{reg: r, term: c})
+		}
+		if len(children) == 0 {
+			return nil
+		}
+		// Expand all but the last child recursively; iterate into the
+		// last (tail-position) child so long spines use O(1) registers.
+		for _, c := range children[:len(children)-1] {
+			if err := cc.expandHead(c.reg, c.term, true); err != nil {
+				return err
+			}
+		}
+		last := children[len(children)-1]
+		reg, t, releaseReg = last.reg, last.term, true
+	}
+}
+
+// --- body argument loading (put/unify in write mode) ---
+
+// putArg loads argument a into X register target. lastGoal enables
+// put_unsafe_value for environment-resident permanent variables.
+func (cc *clauseCtx) putArg(a parse.Term, target int16, lastGoal bool) error {
+	switch t := a.(type) {
+	case *parse.Var:
+		vi := cc.vars[t]
+		if !vi.assigned {
+			vi.assigned = true
+			if vi.perm {
+				cc.e.emit(isa.Instr{Op: isa.OpPutVariableY, R1: vi.yslot, R2: target})
+			} else {
+				vi.heapSafe = true // fresh heap cell
+				reg := vi.xreg
+				if reg < 0 {
+					reg = target // single occurrence as a plain argument
+				}
+				cc.e.emit(isa.Instr{Op: isa.OpPutVariableX, R1: reg, R2: target})
+			}
+			return nil
+		}
+		if vi.perm {
+			if lastGoal && !vi.heapSafe {
+				cc.e.emit(isa.Instr{Op: isa.OpPutUnsafeValue, R1: vi.yslot, R2: target})
+				return nil
+			}
+			cc.e.emit(isa.Instr{Op: isa.OpPutValueY, R1: vi.yslot, R2: target})
+			return nil
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpPutValueX, R1: vi.xreg, R2: target})
+		return nil
+	case parse.Atom:
+		if t == "[]" {
+			cc.e.emit(isa.Instr{Op: isa.OpPutNil, R2: target})
+			return nil
+		}
+		w, _ := cc.constWord(t)
+		cc.e.emit(isa.Instr{Op: isa.OpPutConstant, W: w, R2: target})
+		return nil
+	case parse.Int:
+		w, _ := cc.constWord(t)
+		cc.e.emit(isa.Instr{Op: isa.OpPutConstant, W: w, R2: target})
+		return nil
+	case *parse.Compound:
+		return cc.buildStruct(t, target)
+	}
+	return fmt.Errorf("unsupported goal argument %v", a)
+}
+
+// buildStruct builds compound term t bottom-up on the heap, leaving a
+// reference in the target register. Scratch registers used for nested
+// children are released as soon as the parent has consumed them, and
+// list spines are built iteratively, so register pressure stays bounded
+// even for very long list literals.
+func (cc *clauseCtx) buildStruct(t *parse.Compound, target int16) error {
+	if t.Functor == "." && t.Arity() == 2 {
+		return cc.buildListChain(t, target)
+	}
+	// Build nested compound children first, into scratch registers;
+	// grandchild scratches are released after each child completes.
+	childReg := make(map[int]int16)
+	for i, a := range t.Args {
+		if c, ok := a.(*parse.Compound); ok {
+			r, err := cc.freshScratch()
+			if err != nil {
+				return err
+			}
+			if err := cc.buildStruct(c, r); err != nil {
+				return err
+			}
+			cc.scratch = r + 1 // free the child's internal scratches
+			childReg[i] = r
+		}
+	}
+	f := cc.e.syms.Fun(t.Functor, t.Arity())
+	cc.e.emit(isa.Instr{Op: isa.OpPutStructure, N: int32(f), R2: target})
+	for i, a := range t.Args {
+		if r, ok := childReg[i]; ok {
+			cc.e.emit(isa.Instr{Op: isa.OpUnifyValueX, R1: r})
+			continue
+		}
+		if err := cc.emitUnifyArg(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildListChain builds a list term iteratively from the innermost cons
+// outward, alternating between two scratch registers so that arbitrary
+// length list literals compile in O(1) registers.
+func (cc *clauseCtx) buildListChain(t *parse.Compound, target int16) error {
+	// Collect the right spine.
+	var items []parse.Term
+	tail := parse.Term(nil)
+	cur := t
+	for {
+		items = append(items, cur.Args[0])
+		next, ok := cur.Args[1].(*parse.Compound)
+		if ok && next.Functor == "." && next.Arity() == 2 {
+			cur = next
+			continue
+		}
+		tail = cur.Args[1]
+		break
+	}
+	altA, err := cc.freshScratch()
+	if err != nil {
+		return err
+	}
+	altB, err := cc.freshScratch()
+	if err != nil {
+		return err
+	}
+	// Pre-build a compound tail.
+	tailReg := int16(-1)
+	if tc, ok := tail.(*parse.Compound); ok {
+		r, err := cc.freshScratch()
+		if err != nil {
+			return err
+		}
+		if err := cc.buildStruct(tc, r); err != nil {
+			return err
+		}
+		cc.scratch = r + 1
+		tailReg = r
+	}
+	curReg := int16(-1)
+	for k := len(items) - 1; k >= 0; k-- {
+		mark := cc.scratch
+		dst := target
+		if k > 0 {
+			if k%2 == 0 {
+				dst = altA
+			} else {
+				dst = altB
+			}
+		}
+		item := items[k]
+		itemReg := int16(-1)
+		if icomp, ok := item.(*parse.Compound); ok {
+			r, err := cc.freshScratch()
+			if err != nil {
+				return err
+			}
+			if err := cc.buildStruct(icomp, r); err != nil {
+				return err
+			}
+			itemReg = r
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpPutList, R2: dst})
+		if itemReg >= 0 {
+			cc.e.emit(isa.Instr{Op: isa.OpUnifyValueX, R1: itemReg})
+		} else if err := cc.emitUnifyArg(item); err != nil {
+			return err
+		}
+		if k == len(items)-1 {
+			if tailReg >= 0 {
+				cc.e.emit(isa.Instr{Op: isa.OpUnifyValueX, R1: tailReg})
+			} else if err := cc.emitUnifyArg(tail); err != nil {
+				return err
+			}
+		} else {
+			cc.e.emit(isa.Instr{Op: isa.OpUnifyValueX, R1: curReg})
+		}
+		curReg = dst
+		cc.scratch = mark
+	}
+	return nil
+}
+
+// emitUnifyArg emits the unify instruction for a non-compound structure
+// argument in write mode.
+func (cc *clauseCtx) emitUnifyArg(a parse.Term) error {
+	switch s := a.(type) {
+	case *parse.Var:
+		vi := cc.vars[s]
+		if vi.count == 1 && !vi.perm {
+			cc.e.emit(isa.Instr{Op: isa.OpUnifyVoid, N: 1})
+			return nil
+		}
+		if !vi.assigned {
+			vi.assigned = true
+			vi.heapSafe = true
+			if vi.perm {
+				cc.e.emit(isa.Instr{Op: isa.OpUnifyVariableY, R1: vi.yslot})
+			} else {
+				cc.e.emit(isa.Instr{Op: isa.OpUnifyVariableX, R1: vi.xreg})
+			}
+			return nil
+		}
+		op := isa.OpUnifyValueX
+		reg := vi.xreg
+		if vi.perm {
+			op = isa.OpUnifyValueY
+			reg = vi.yslot
+			if !vi.heapSafe {
+				op = isa.OpUnifyLocalValueY
+				vi.heapSafe = true
+			}
+		} else if !vi.heapSafe {
+			op = isa.OpUnifyLocalValueX
+			vi.heapSafe = true
+		}
+		cc.e.emit(isa.Instr{Op: op, R1: reg})
+		return nil
+	case parse.Atom, parse.Int:
+		if parse.IsNil(s) {
+			cc.e.emit(isa.Instr{Op: isa.OpUnifyNil})
+			return nil
+		}
+		w, _ := cc.constWord(s)
+		cc.e.emit(isa.Instr{Op: isa.OpUnifyConstant, W: w})
+		return nil
+	}
+	return fmt.Errorf("unsupported structure argument %v", a)
+}
+
+// compileCall emits a user-predicate call (with LCO when tail is true).
+func (cc *clauseCtx) compileCall(g itemCall, tail bool) error {
+	if g.name == "call" && len(g.args) == 1 {
+		if err := cc.putArg(g.args[0], 0, false); err != nil {
+			return err
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpBuiltin, N: int32(isa.BiCall), R1: 1})
+		return nil
+	}
+	fidx := cc.e.syms.Fun(g.name, len(g.args))
+	for i, a := range g.args {
+		if err := cc.putArg(a, int16(i), tail); err != nil {
+			return err
+		}
+	}
+	if tail {
+		if cc.needEnv {
+			cc.e.emit(isa.Instr{Op: isa.OpDeallocate})
+		}
+		cc.e.callProc(isa.Instr{Op: isa.OpExecute, R1: int16(len(g.args))}, fidx)
+		return nil
+	}
+	cc.e.callProc(isa.Instr{Op: isa.OpCall, R1: int16(len(g.args))}, fidx)
+	// A call ends the current unit: temporaries die, so clear
+	// assignment state of unassigned-safe temps is unnecessary (each
+	// temp lives in exactly one unit by construction).
+	return nil
+}
+
+// --- inline builtins ---
+
+func (cc *clauseCtx) compileInline(g itemInline) error {
+	switch g.name {
+	case "fail":
+		cc.e.emit(isa.Instr{Op: isa.OpFail})
+		return nil
+	case "is":
+		return cc.compileIs(g.args[0], g.args[1])
+	}
+	if cmp, ok := compareOps[g.name]; ok {
+		l, err := cc.emitArith(g.args[0])
+		if err != nil {
+			return err
+		}
+		r, err := cc.emitArith(g.args[1])
+		if err != nil {
+			return err
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpCompare, R1: l, R2: r, N: int32(cmp)})
+		return nil
+	}
+	bi, ok := inlineBuiltins[isa.Functor{Name: g.name, Arity: len(g.args)}]
+	if !ok {
+		return fmt.Errorf("unknown inline builtin %s/%d", g.name, len(g.args))
+	}
+	for i, a := range g.args {
+		if err := cc.putArg(a, int16(i), false); err != nil {
+			return err
+		}
+	}
+	cc.e.emit(isa.Instr{Op: isa.OpBuiltin, N: int32(bi), R1: int16(len(g.args))})
+	return nil
+}
+
+// compileIs compiles Result is Expr with register-based arithmetic.
+func (cc *clauseCtx) compileIs(result, expr parse.Term) error {
+	r, err := cc.emitArith(expr)
+	if err != nil {
+		return err
+	}
+	switch t := result.(type) {
+	case *parse.Var:
+		vi := cc.vars[t]
+		if !vi.assigned {
+			vi.assigned = true
+			vi.heapSafe = true // integer value
+			if vi.perm {
+				cc.e.emit(isa.Instr{Op: isa.OpGetVariableY, R1: vi.yslot, R2: r})
+			} else {
+				if vi.xreg < 0 {
+					vi.xreg = r
+					return nil
+				}
+				cc.e.emit(isa.Instr{Op: isa.OpPutValueX, R1: r, R2: vi.xreg})
+			}
+			return nil
+		}
+		if vi.perm {
+			cc.e.emit(isa.Instr{Op: isa.OpGetValueY, R1: vi.yslot, R2: r})
+		} else {
+			cc.e.emit(isa.Instr{Op: isa.OpGetValueX, R1: vi.xreg, R2: r})
+		}
+		return nil
+	case parse.Int:
+		s, err := cc.freshScratch()
+		if err != nil {
+			return err
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpPutConstant, W: mem.MakeInt(int64(t)), R2: s})
+		cc.e.emit(isa.Instr{Op: isa.OpGetValueX, R1: s, R2: r})
+		return nil
+	}
+	return fmt.Errorf("invalid is/2 result %v", result)
+}
+
+// emitArith compiles an arithmetic expression into a register holding an
+// integer word, using scratch registers.
+func (cc *clauseCtx) emitArith(expr parse.Term) (int16, error) {
+	switch t := expr.(type) {
+	case parse.Int:
+		s, err := cc.freshScratch()
+		if err != nil {
+			return 0, err
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpPutConstant, W: mem.MakeInt(int64(t)), R2: s})
+		return s, nil
+	case *parse.Var:
+		vi := cc.vars[t]
+		if !vi.assigned {
+			return 0, fmt.Errorf("variable %s unbound in arithmetic", t.Name)
+		}
+		src := vi.xreg
+		if vi.perm {
+			s, err := cc.freshScratch()
+			if err != nil {
+				return 0, err
+			}
+			cc.e.emit(isa.Instr{Op: isa.OpPutValueY, R1: vi.yslot, R2: s})
+			src = s
+		}
+		d, err := cc.freshScratch()
+		if err != nil {
+			return 0, err
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpArith, R1: d, R2: src, N: int32(isa.ArithDeref)})
+		return d, nil
+	case *parse.Compound:
+		if t.Functor == "-" && t.Arity() == 1 {
+			a, err := cc.emitArith(t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			d, err := cc.freshScratch()
+			if err != nil {
+				return 0, err
+			}
+			cc.e.emit(isa.Instr{Op: isa.OpArith, R1: d, R2: a, N: int32(isa.ArithNeg)})
+			return d, nil
+		}
+		if t.Functor == "+" && t.Arity() == 1 {
+			return cc.emitArith(t.Args[0])
+		}
+		op, ok := arithOps[t.Functor]
+		if !ok || t.Arity() != 2 {
+			return 0, fmt.Errorf("unsupported arithmetic %v", t)
+		}
+		l, err := cc.emitArith(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		r, err := cc.emitArith(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		d, err := cc.freshScratch()
+		if err != nil {
+			return 0, err
+		}
+		cc.e.emit(isa.Instr{Op: isa.OpArith, R1: d, R2: l, R3: r, N: int32(op)})
+		return d, nil
+	}
+	return 0, fmt.Errorf("unsupported arithmetic term %v", expr)
+}
+
+// --- CGE compilation ---
+
+// compileCGE emits the parallel prelude (checks, pframe, goal pushes,
+// local first goal) followed by the sequential fallback.
+func (cc *clauseCtx) compileCGE(g itemCGE) error {
+	cc.e.parallel = true
+
+	// Pre-initialize every CGE variable whose first occurrence is
+	// inside the expression, so the parallel and sequential paths see
+	// identical environment state.
+	for _, arm := range g.arms {
+		for _, a := range arm.args {
+			for _, v := range parse.Vars(a) {
+				vi := cc.vars[v]
+				if !vi.assigned {
+					vi.assigned = true
+					s, err := cc.freshScratch()
+					if err != nil {
+						return err
+					}
+					cc.e.emit(isa.Instr{Op: isa.OpPutVariableY, R1: vi.yslot, R2: s})
+				}
+			}
+		}
+	}
+	cc.resetScratch()
+
+	// Conditions: each failing check jumps to the sequential version.
+	var seqPatches []int
+	for _, cond := range g.conds {
+		name, args, err := goalFunctor(cond)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "true":
+			continue
+		case "ground":
+			s, err := cc.freshScratch()
+			if err != nil {
+				return err
+			}
+			if err := cc.putArg(args[0], s, false); err != nil {
+				return err
+			}
+			seqPatches = append(seqPatches, cc.e.emit(isa.Instr{Op: isa.OpCheckGround, R1: s}))
+		case "indep":
+			s1, err := cc.freshScratch()
+			if err != nil {
+				return err
+			}
+			if err := cc.putArg(args[0], s1, false); err != nil {
+				return err
+			}
+			s2, err := cc.freshScratch()
+			if err != nil {
+				return err
+			}
+			if err := cc.putArg(args[1], s2, false); err != nil {
+				return err
+			}
+			seqPatches = append(seqPatches, cc.e.emit(isa.Instr{Op: isa.OpCheckIndep, R1: s1, R2: s2}))
+		}
+	}
+
+	// Parallel path: frame, push goals n..2, run goal 1 locally.
+	pfAt := cc.e.emit(isa.Instr{Op: isa.OpPFrame, R1: int16(len(g.arms))})
+	for k := len(g.arms) - 1; k >= 1; k-- {
+		arm := g.arms[k]
+		cc.resetScratch()
+		fidx := cc.e.syms.Fun(arm.name, len(arm.args))
+		for i, a := range arm.args {
+			if err := cc.putArg(a, int16(i), false); err != nil {
+				return err
+			}
+		}
+		cc.e.callProc(isa.Instr{Op: isa.OpPushGoal, R1: int16(len(arm.args)), R2: int16(k + 1)}, fidx)
+	}
+	arm := g.arms[0]
+	cc.resetScratch()
+	fidx := cc.e.syms.Fun(arm.name, len(arm.args))
+	for i, a := range arm.args {
+		if err := cc.putArg(a, int16(i), false); err != nil {
+			return err
+		}
+	}
+	cc.e.callProc(isa.Instr{Op: isa.OpPCallLocal, R1: int16(len(arm.args)), R2: 1}, fidx)
+
+	// Sequential fallback (reached only by the condition-check jumps).
+	seqLabel := cc.e.here()
+	for _, p := range seqPatches {
+		cc.e.patch(p, seqLabel)
+	}
+	for _, arm := range g.arms {
+		cc.resetScratch()
+		fidx := cc.e.syms.Fun(arm.name, len(arm.args))
+		for i, a := range arm.args {
+			if err := cc.putArg(a, int16(i), false); err != nil {
+				return err
+			}
+		}
+		cc.e.callProc(isa.Instr{Op: isa.OpCall, R1: int16(len(arm.args))}, fidx)
+	}
+	jumpAt := cc.e.emit(isa.Instr{Op: isa.OpJump})
+
+	cont := cc.e.here()
+	cc.e.patch(pfAt, cont)
+	cc.e.patch(jumpAt, cont)
+	return nil
+}

@@ -1,0 +1,334 @@
+// Package compile translates Prolog programs (with &-Prolog CGE
+// annotations) into RAP-WAM code. It performs the classic WAM
+// compilation steps — permanent/temporary variable classification,
+// first-argument indexing, last-call optimization, unsafe-variable
+// handling, cut — plus the CGE translation into parcall-frame
+// instructions described in the paper (goals pushed onto the goal stack,
+// first goal executed locally, with a compiled sequential fallback used
+// when the independence conditions fail at run time).
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/parse"
+)
+
+// Options control compilation.
+type Options struct {
+	// Sequential compiles CGEs as ordinary conjunctions, yielding the
+	// plain-WAM baseline the paper measures RAP-WAM against.
+	Sequential bool
+}
+
+// Compile parses and compiles a program together with a query.
+// The query is the body of the goal to run (without "?-").
+func Compile(program, query string, opt Options) (*isa.Code, error) {
+	clauses, err := parse.Program(program)
+	if err != nil {
+		return nil, fmt.Errorf("compile: program: %w", err)
+	}
+	q, err := parse.OneTerm(query)
+	if err != nil {
+		return nil, fmt.Errorf("compile: query: %w", err)
+	}
+	return compileClauses(clauses, q, opt)
+}
+
+// predicate groups the clauses of one name/arity.
+type predicate struct {
+	functor isa.Functor
+	clauses []clauseSrc
+}
+
+type clauseSrc struct {
+	head parse.Term // Atom or *Compound
+	body parse.Term // nil for facts
+}
+
+type emitter struct {
+	code     []isa.Instr
+	switches []isa.SwitchTable
+	syms     *isa.SymTab
+	// procPatch lists instruction indexes whose N must be resolved to
+	// the entry label of the functor-index key.
+	procPatch map[int]int
+	entries   map[int]int32 // functor index -> entry label
+	opt       Options
+	parallel  bool
+}
+
+func (e *emitter) emit(i isa.Instr) int {
+	e.code = append(e.code, i)
+	return len(e.code) - 1
+}
+
+// here returns the next instruction address.
+func (e *emitter) here() int32 { return int32(len(e.code)) }
+
+// patch sets the N operand of the instruction at idx.
+func (e *emitter) patch(idx int, label int32) { e.code[idx].N = label }
+
+// callProc emits an instruction whose N will be patched to the entry of
+// the given functor.
+func (e *emitter) callProc(ins isa.Instr, fidx int) {
+	at := e.emit(ins)
+	e.procPatch[at] = fidx
+}
+
+func compileClauses(clauses []parse.Term, query parse.Term, opt Options) (*isa.Code, error) {
+	e := &emitter{
+		syms:      isa.NewSymTab(),
+		procPatch: map[int]int{},
+		entries:   map[int]int32{},
+		opt:       opt,
+	}
+
+	// Group clauses into predicates preserving first-occurrence order.
+	var order []int
+	preds := map[int]*predicate{}
+	for _, c := range clauses {
+		var head, body parse.Term
+		if r, ok := c.(*parse.Compound); ok && r.Functor == ":-" && r.Arity() == 2 {
+			head, body = r.Args[0], r.Args[1]
+		} else {
+			head = c
+		}
+		var f isa.Functor
+		switch h := head.(type) {
+		case parse.Atom:
+			f = isa.Functor{Name: string(h), Arity: 0}
+		case *parse.Compound:
+			f = isa.Functor{Name: h.Functor, Arity: h.Arity()}
+		default:
+			return nil, fmt.Errorf("compile: invalid clause head %v", head)
+		}
+		fidx := e.syms.Fun(f.Name, f.Arity)
+		p, ok := preds[fidx]
+		if !ok {
+			p = &predicate{functor: f}
+			preds[fidx] = p
+			order = append(order, fidx)
+		}
+		p.clauses = append(p.clauses, clauseSrc{head: head, body: body})
+	}
+
+	// Compile each predicate.
+	for _, fidx := range order {
+		if err := e.compilePredicate(fidx, preds[fidx]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Compile the query as $query/0 with every variable permanent.
+	queryEntry, queryVars, err := e.compileQuery(query)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve procedure references.
+	for at, fidx := range e.procPatch {
+		entry, ok := e.entries[fidx]
+		if !ok {
+			return nil, fmt.Errorf("compile: undefined procedure %v", e.syms.FunctorAt(fidx))
+		}
+		e.code[at].N = entry
+	}
+
+	return &isa.Code{
+		Instrs:     e.code,
+		Switches:   e.switches,
+		Syms:       e.syms,
+		Procs:      e.entries,
+		QueryEntry: queryEntry,
+		QueryVars:  queryVars,
+		Parallel:   e.parallel,
+	}, nil
+}
+
+// compilePredicate emits clause code and the indexing preamble.
+func (e *emitter) compilePredicate(fidx int, p *predicate) error {
+	// Emit every clause body, collecting entry labels.
+	labels := make([]int32, len(p.clauses))
+	// The predicate entry must be a stable label emitted before clause
+	// code, so reserve a jump that we patch to the real entry.
+	jumpAt := e.emit(isa.Instr{Op: isa.OpJump})
+	e.entries[fidx] = int32(jumpAt)
+
+	for i, c := range p.clauses {
+		labels[i] = e.here()
+		if err := e.compileClause(p.functor, c); err != nil {
+			return fmt.Errorf("compile: %v clause %d: %w", p.functor, i+1, err)
+		}
+	}
+
+	entry := e.compileIndexing(p, labels)
+	e.patch(jumpAt, entry)
+	return nil
+}
+
+// chain emits a try/retry/trust chain over the given clause labels and
+// returns its entry label. A single-clause chain is the clause itself.
+func (e *emitter) chain(arity int, labels []int32) int32 {
+	if len(labels) == 1 {
+		return labels[0]
+	}
+	entry := e.here()
+	e.emit(isa.Instr{Op: isa.OpTry, R1: int16(arity), N: labels[0]})
+	for _, l := range labels[1 : len(labels)-1] {
+		e.emit(isa.Instr{Op: isa.OpRetry, N: l})
+	}
+	e.emit(isa.Instr{Op: isa.OpTrust, N: labels[len(labels)-1]})
+	return entry
+}
+
+// headArg1 classifies the first head argument of a clause for indexing.
+type argClass uint8
+
+const (
+	argVar argClass = iota
+	argCon
+	argLis
+	argStr
+)
+
+func (e *emitter) classifyArg1(c clauseSrc) (argClass, mem.Word) {
+	comp, ok := c.head.(*parse.Compound)
+	if !ok || len(comp.Args) == 0 {
+		return argVar, 0
+	}
+	switch a := comp.Args[0].(type) {
+	case *parse.Var:
+		return argVar, 0
+	case parse.Atom:
+		if a == "[]" {
+			return argCon, mem.MakeCon(isa.NilAtom)
+		}
+		return argCon, mem.MakeCon(e.syms.Atom(string(a)))
+	case parse.Int:
+		return argCon, mem.MakeInt(int64(a))
+	case *parse.Compound:
+		if a.Functor == "." && a.Arity() == 2 {
+			return argLis, 0
+		}
+		return argStr, mem.Word(e.syms.Fun(a.Functor, a.Arity()))
+	}
+	return argVar, 0
+}
+
+// compileIndexing builds switch_on_term dispatch for multi-clause
+// predicates with a usable first argument; otherwise a plain chain.
+func (e *emitter) compileIndexing(p *predicate, labels []int32) int32 {
+	if len(p.clauses) == 1 {
+		return labels[0]
+	}
+	arity := p.functor.Arity
+	if arity == 0 {
+		return e.chain(arity, labels)
+	}
+	classes := make([]argClass, len(p.clauses))
+	keys := make([]mem.Word, len(p.clauses))
+	allVar := true
+	for i, c := range p.clauses {
+		classes[i], keys[i] = e.classifyArg1(c)
+		if classes[i] != argVar {
+			allVar = false
+		}
+	}
+	if allVar {
+		return e.chain(arity, labels)
+	}
+
+	// Candidate chains per tag class.
+	var varChain, lisChain []int32
+	conChains := map[mem.Word][]int32{}
+	strChains := map[mem.Word][]int32{}
+	var conKeys, strKeys []mem.Word
+	for i := range p.clauses {
+		switch classes[i] {
+		case argVar:
+			varChain = append(varChain, labels[i])
+			lisChain = append(lisChain, labels[i])
+			for _, k := range conKeys {
+				conChains[k] = append(conChains[k], labels[i])
+			}
+			for _, k := range strKeys {
+				strChains[k] = append(strChains[k], labels[i])
+			}
+		case argCon:
+			if _, ok := conChains[keys[i]]; !ok {
+				// Seed with preceding var-arg clauses.
+				conChains[keys[i]] = append([]int32{}, prefixVar(classes, labels, i)...)
+				conKeys = append(conKeys, keys[i])
+			}
+			conChains[keys[i]] = append(conChains[keys[i]], labels[i])
+		case argLis:
+			lisChain = append(lisChain, labels[i])
+		case argStr:
+			if _, ok := strChains[keys[i]]; !ok {
+				strChains[keys[i]] = append([]int32{}, prefixVar(classes, labels, i)...)
+				strKeys = append(strKeys, keys[i])
+			}
+			strChains[keys[i]] = append(strChains[keys[i]], labels[i])
+		}
+	}
+
+	const failLabel = -1
+	emitChain := func(ls []int32) int32 {
+		if len(ls) == 0 {
+			return failLabel
+		}
+		return e.chain(arity, ls)
+	}
+
+	varEntry := emitChain(labels) // variable: all clauses in order
+	lisEntry := emitChain(lisChain)
+
+	conEntry := int32(failLabel)
+	if len(conKeys) > 0 || len(varChain) > 0 {
+		cases := map[mem.Word]int32{}
+		// Deterministic iteration for reproducible code layout.
+		sort.Slice(conKeys, func(i, j int) bool { return conKeys[i] < conKeys[j] })
+		for _, k := range conKeys {
+			cases[k] = emitChain(conChains[k])
+		}
+		def := emitChain(varChain)
+		e.switches = append(e.switches, isa.SwitchTable{Cases: cases, Default: def})
+		conEntry = e.here()
+		e.emit(isa.Instr{Op: isa.OpSwitchOnConstant, N: int32(len(e.switches) - 1)})
+	}
+
+	strEntry := int32(failLabel)
+	if len(strKeys) > 0 || len(varChain) > 0 {
+		cases := map[mem.Word]int32{}
+		sort.Slice(strKeys, func(i, j int) bool { return strKeys[i] < strKeys[j] })
+		for _, k := range strKeys {
+			cases[k] = emitChain(strChains[k])
+		}
+		def := emitChain(varChain)
+		e.switches = append(e.switches, isa.SwitchTable{Cases: cases, Default: def})
+		strEntry = e.here()
+		e.emit(isa.Instr{Op: isa.OpSwitchOnStructure, N: int32(len(e.switches) - 1)})
+	}
+
+	e.switches = append(e.switches, isa.SwitchTable{
+		Var: varEntry, Con: conEntry, Lis: lisEntry, Str: strEntry,
+	})
+	entry := e.here()
+	e.emit(isa.Instr{Op: isa.OpSwitchOnTerm, N: int32(len(e.switches) - 1)})
+	return entry
+}
+
+// prefixVar returns the labels of var-first-arg clauses preceding index i.
+func prefixVar(classes []argClass, labels []int32, i int) []int32 {
+	var out []int32
+	for j := 0; j < i; j++ {
+		if classes[j] == argVar {
+			out = append(out, labels[j])
+		}
+	}
+	return out
+}

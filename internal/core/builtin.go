@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// arith executes an OpArith instruction; false means arithmetic failure
+// (type error or division by zero), which backtracks like any failure.
+func (w *worker) arith(ins isa.Instr) bool {
+	op := isa.ArithOp(ins.N)
+	if op == isa.ArithDeref {
+		d := w.deref(w.regs[ins.R2])
+		if d.Tag() != mem.TagInt {
+			return false
+		}
+		w.regs[ins.R1] = d
+		return true
+	}
+	a := w.regs[ins.R2]
+	if a.Tag() != mem.TagInt {
+		return false
+	}
+	av := a.Int()
+	if op == isa.ArithNeg {
+		w.regs[ins.R1] = mem.MakeInt(-av)
+		return true
+	}
+	b := w.regs[ins.R3]
+	if b.Tag() != mem.TagInt {
+		return false
+	}
+	bv := b.Int()
+	var r int64
+	switch op {
+	case isa.ArithAdd:
+		r = av + bv
+	case isa.ArithSub:
+		r = av - bv
+	case isa.ArithMul:
+		r = av * bv
+	case isa.ArithIDiv, isa.ArithDiv:
+		if bv == 0 {
+			return false
+		}
+		r = av / bv
+	case isa.ArithMod:
+		if bv == 0 {
+			return false
+		}
+		r = av % bv
+		if (r < 0 && bv > 0) || (r > 0 && bv < 0) {
+			r += bv
+		}
+	case isa.ArithRem:
+		if bv == 0 {
+			return false
+		}
+		r = av % bv
+	default:
+		return false
+	}
+	if r > mem.MaxInt || r < mem.MinInt {
+		return false
+	}
+	w.regs[ins.R1] = mem.MakeInt(r)
+	return true
+}
+
+// builtin executes an OpBuiltin instruction with args in A0..arity-1.
+// The jumped result reports that the builtin transferred control
+// (meta-call); the caller must not advance pc in that case.
+func (w *worker) builtin(b isa.Builtin, arity int) (ok, jumped bool) {
+	switch b {
+	case isa.BiCall:
+		return w.metaCall(), true
+	case isa.BiUnify:
+		return w.unify(w.regs[0], w.regs[1]), false
+	case isa.BiStructEq:
+		return w.structEqual(w.regs[0], w.regs[1]), false
+	case isa.BiStructNe:
+		return !w.structEqual(w.regs[0], w.regs[1]), false
+	case isa.BiVar:
+		return w.deref(w.regs[0]).Tag() == mem.TagRef, false
+	case isa.BiNonvar:
+		return w.deref(w.regs[0]).Tag() != mem.TagRef, false
+	case isa.BiAtom:
+		return w.deref(w.regs[0]).Tag() == mem.TagCon, false
+	case isa.BiInteger:
+		return w.deref(w.regs[0]).Tag() == mem.TagInt, false
+	case isa.BiAtomic:
+		t := w.deref(w.regs[0]).Tag()
+		return t == mem.TagCon || t == mem.TagInt, false
+	case isa.BiGround:
+		return w.groundCheck(w.regs[0]), false
+	case isa.BiIndep:
+		return w.indepCheck(w.regs[0], w.regs[1]), false
+	case isa.BiTrue:
+		return true, false
+	case isa.BiFail:
+		return false, false
+	case isa.BiWrite:
+		w.writeTerm(w.regs[0], 0)
+		return true, false
+	case isa.BiNl:
+		w.eng.out.WriteByte('\n')
+		return true, false
+	case isa.BiIs:
+		v, good := w.evalTerm(w.regs[1], 0)
+		if !good {
+			return false, false
+		}
+		return w.unify(w.regs[0], mem.MakeInt(v)), false
+	case isa.BiFunctor:
+		return w.biFunctor(), false
+	case isa.BiArg:
+		return w.biArg(), false
+	case isa.BiUniv:
+		return w.biUniv(), false
+	case isa.BiLength:
+		return w.biLength(), false
+	}
+	panic(machineError{fmt.Sprintf("pe%d: unimplemented builtin %v/%d", w.pe, b, arity)})
+}
+
+// structEqual is ==/2: structural identity without binding. Reads are
+// traced (the comparison really walks both terms).
+func (w *worker) structEqual(a, b mem.Word) bool {
+	d1 := w.deref(a)
+	d2 := w.deref(b)
+	if d1 == d2 {
+		return true
+	}
+	if d1.Tag() != d2.Tag() {
+		return false
+	}
+	switch d1.Tag() {
+	case mem.TagRef, mem.TagInt, mem.TagCon:
+		return d1 == d2
+	case mem.TagLis:
+		return w.structEqual(w.read(d1.Addr(), trace.ObjHeap), w.read(d2.Addr(), trace.ObjHeap)) &&
+			w.structEqual(w.read(d1.Addr()+1, trace.ObjHeap), w.read(d2.Addr()+1, trace.ObjHeap))
+	case mem.TagStr:
+		f1 := w.read(d1.Addr(), trace.ObjHeap)
+		f2 := w.read(d2.Addr(), trace.ObjHeap)
+		if f1 != f2 {
+			return false
+		}
+		arity := w.eng.code.Syms.FunctorAt(f1.Index()).Arity
+		for i := 1; i <= arity; i++ {
+			if !w.structEqual(w.read(d1.Addr()+i, trace.ObjHeap), w.read(d2.Addr()+i, trace.ObjHeap)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// evalTerm evaluates a heap-resident arithmetic expression (the BiIs
+// slow path, for expressions the compiler did not inline).
+func (w *worker) evalTerm(v mem.Word, depth int) (int64, bool) {
+	if depth > 100 {
+		return 0, false
+	}
+	d := w.deref(v)
+	switch d.Tag() {
+	case mem.TagInt:
+		return d.Int(), true
+	case mem.TagStr:
+		f := w.eng.code.Syms.FunctorAt(w.read(d.Addr(), trace.ObjHeap).Index())
+		if f.Arity == 1 && (f.Name == "-" || f.Name == "+") {
+			a, ok := w.evalTerm(w.read(d.Addr()+1, trace.ObjHeap), depth+1)
+			if !ok {
+				return 0, false
+			}
+			if f.Name == "-" {
+				return -a, true
+			}
+			return a, true
+		}
+		if f.Arity != 2 {
+			return 0, false
+		}
+		a, ok := w.evalTerm(w.read(d.Addr()+1, trace.ObjHeap), depth+1)
+		if !ok {
+			return 0, false
+		}
+		b, ok := w.evalTerm(w.read(d.Addr()+2, trace.ObjHeap), depth+1)
+		if !ok {
+			return 0, false
+		}
+		switch f.Name {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "//", "/":
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case "mod":
+			if b == 0 {
+				return 0, false
+			}
+			m := a % b
+			if (m < 0 && b > 0) || (m > 0 && b < 0) {
+				m += b
+			}
+			return m, true
+		case "rem":
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}
+	}
+	return 0, false
+}
+
+// writeTerm renders a term to the engine output with traced reads (the
+// machine really walks the term to print it).
+func (w *worker) writeTerm(v mem.Word, depth int) {
+	if depth > 200 {
+		w.eng.out.WriteString("...")
+		return
+	}
+	d := w.deref(v)
+	switch d.Tag() {
+	case mem.TagRef:
+		fmt.Fprintf(&w.eng.out, "_G%d", d.Addr())
+	case mem.TagInt:
+		fmt.Fprintf(&w.eng.out, "%d", d.Int())
+	case mem.TagCon:
+		w.eng.out.WriteString(w.eng.code.Syms.AtomName(d.Index()))
+	case mem.TagLis:
+		w.eng.out.WriteByte('[')
+		w.writeTerm(w.read(d.Addr(), trace.ObjHeap), depth+1)
+		t := w.deref(w.read(d.Addr()+1, trace.ObjHeap))
+		for {
+			if t.Tag() == mem.TagCon && t.Index() == isa.NilAtom {
+				break
+			}
+			if t.Tag() != mem.TagLis {
+				w.eng.out.WriteByte('|')
+				w.writeTerm(t, depth+1)
+				break
+			}
+			w.eng.out.WriteByte(',')
+			w.writeTerm(w.read(t.Addr(), trace.ObjHeap), depth+1)
+			t = w.deref(w.read(t.Addr()+1, trace.ObjHeap))
+		}
+		w.eng.out.WriteByte(']')
+	case mem.TagStr:
+		f := w.eng.code.Syms.FunctorAt(w.read(d.Addr(), trace.ObjHeap).Index())
+		w.eng.out.WriteString(f.Name)
+		w.eng.out.WriteByte('(')
+		for i := 1; i <= f.Arity; i++ {
+			if i > 1 {
+				w.eng.out.WriteByte(',')
+			}
+			w.writeTerm(w.read(d.Addr()+i, trace.ObjHeap), depth+1)
+		}
+		w.eng.out.WriteByte(')')
+	}
+}

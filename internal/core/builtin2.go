@@ -1,0 +1,271 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// This file implements the structure-inspection and meta-call builtins:
+// functor/3, arg/3, =../2 (univ), length/2 and call/1.
+
+// metaCall implements call/1: dereference the goal term in A0 and
+// transfer control to its procedure, loading arguments from the
+// structure. The continuation is the instruction after the builtin.
+// Returns false (failure) for unbound goals, non-callable terms or
+// undefined procedures.
+func (w *worker) metaCall() bool {
+	d := w.deref(w.regs[0])
+	var fidx int
+	switch d.Tag() {
+	case mem.TagCon:
+		name := w.eng.code.Syms.AtomName(d.Index())
+		var ok bool
+		fidx, ok = w.lookupFun(name, 0)
+		if !ok {
+			return false
+		}
+	case mem.TagStr:
+		f := w.read(d.Addr(), trace.ObjHeap)
+		fidx = f.Index()
+		arity := w.eng.code.Syms.FunctorAt(fidx).Arity
+		for i := 0; i < arity; i++ {
+			w.regs[i] = w.read(d.Addr()+1+i, trace.ObjHeap)
+		}
+	case mem.TagLis:
+		// A cons cell is './2'.
+		var ok bool
+		fidx, ok = w.lookupFun(".", 2)
+		if !ok {
+			return false
+		}
+		w.regs[0] = w.read(d.Addr(), trace.ObjHeap)
+		w.regs[1] = w.read(d.Addr()+1, trace.ObjHeap)
+	default:
+		return false
+	}
+	entry, ok := w.eng.code.Procs[fidx]
+	if !ok {
+		return false
+	}
+	w.inferences++
+	w.cp = w.pc + 1
+	w.b0 = w.b
+	w.pc = entry
+	return true
+}
+
+// lookupFun finds an existing functor index without interning new ones
+// (the symbol table is fixed after compilation).
+func (w *worker) lookupFun(name string, arity int) (int, bool) {
+	for i, f := range w.eng.code.Syms.Functors {
+		if f.Arity == arity && f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// biFunctor implements functor/3.
+func (w *worker) biFunctor() bool {
+	d := w.deref(w.regs[0])
+	switch d.Tag() {
+	case mem.TagCon, mem.TagInt:
+		// functor(atomic, atomic, 0)
+		return w.unify(w.regs[1], d) && w.unify(w.regs[2], mem.MakeInt(0))
+	case mem.TagLis:
+		dotAtom := w.eng.code.Syms.Atom(".")
+		return w.unify(w.regs[1], mem.MakeCon(dotAtom)) &&
+			w.unify(w.regs[2], mem.MakeInt(2))
+	case mem.TagStr:
+		f := w.eng.code.Syms.FunctorAt(w.read(d.Addr(), trace.ObjHeap).Index())
+		nameAtom := w.eng.code.Syms.Atom(f.Name)
+		return w.unify(w.regs[1], mem.MakeCon(nameAtom)) &&
+			w.unify(w.regs[2], mem.MakeInt(int64(f.Arity)))
+	case mem.TagRef:
+		// Construction: functor(T, Name, Arity) with Name/Arity bound.
+		name := w.deref(w.regs[1])
+		arity := w.deref(w.regs[2])
+		if arity.Tag() != mem.TagInt {
+			return false
+		}
+		n := arity.Int()
+		if n == 0 {
+			if name.Tag() != mem.TagCon && name.Tag() != mem.TagInt {
+				return false
+			}
+			return w.unify(w.regs[0], name)
+		}
+		if name.Tag() != mem.TagCon || n < 0 || n > 255 {
+			return false
+		}
+		atomName := w.eng.code.Syms.AtomName(name.Index())
+		if atomName == "." && n == 2 {
+			// Fresh cons cell.
+			addr := w.h
+			w.checkHeap()
+			w.write(w.h, mem.MakeRef(w.h), trace.ObjHeap)
+			w.h++
+			w.checkHeap()
+			w.write(w.h, mem.MakeRef(w.h), trace.ObjHeap)
+			w.h++
+			return w.unify(w.regs[0], mem.MakeLis(addr))
+		}
+		fidx := w.eng.code.Syms.Fun(atomName, int(n))
+		addr := w.h
+		w.checkHeap()
+		w.write(w.h, mem.MakeFun(fidx), trace.ObjHeap)
+		w.h++
+		for i := int64(0); i < n; i++ {
+			w.checkHeap()
+			w.write(w.h, mem.MakeRef(w.h), trace.ObjHeap)
+			w.h++
+		}
+		return w.unify(w.regs[0], mem.MakeStr(addr))
+	}
+	return false
+}
+
+// biArg implements arg/3: arg(N, Term, Arg).
+func (w *worker) biArg() bool {
+	n := w.deref(w.regs[0])
+	t := w.deref(w.regs[1])
+	if n.Tag() != mem.TagInt {
+		return false
+	}
+	idx := n.Int()
+	switch t.Tag() {
+	case mem.TagStr:
+		arity := int64(w.eng.code.Syms.FunctorAt(w.read(t.Addr(), trace.ObjHeap).Index()).Arity)
+		if idx < 1 || idx > arity {
+			return false
+		}
+		return w.unify(w.regs[2], w.read(t.Addr()+int(idx), trace.ObjHeap))
+	case mem.TagLis:
+		if idx < 1 || idx > 2 {
+			return false
+		}
+		return w.unify(w.regs[2], w.read(t.Addr()+int(idx)-1, trace.ObjHeap))
+	}
+	return false
+}
+
+// biUniv implements =../2: Term =.. [Name|Args].
+func (w *worker) biUniv() bool {
+	d := w.deref(w.regs[0])
+	switch d.Tag() {
+	case mem.TagCon, mem.TagInt:
+		return w.unify(w.regs[1], w.consList([]mem.Word{d}))
+	case mem.TagLis:
+		dot := mem.MakeCon(w.eng.code.Syms.Atom("."))
+		head := w.read(d.Addr(), trace.ObjHeap)
+		tail := w.read(d.Addr()+1, trace.ObjHeap)
+		return w.unify(w.regs[1], w.consList([]mem.Word{dot, head, tail}))
+	case mem.TagStr:
+		f := w.eng.code.Syms.FunctorAt(w.read(d.Addr(), trace.ObjHeap).Index())
+		items := make([]mem.Word, 0, f.Arity+1)
+		items = append(items, mem.MakeCon(w.eng.code.Syms.Atom(f.Name)))
+		for i := 1; i <= f.Arity; i++ {
+			items = append(items, w.read(d.Addr()+i, trace.ObjHeap))
+		}
+		return w.unify(w.regs[1], w.consList(items))
+	case mem.TagRef:
+		// Construction: walk the list in A1.
+		var items []mem.Word
+		l := w.deref(w.regs[1])
+		for l.Tag() == mem.TagLis {
+			items = append(items, w.read(l.Addr(), trace.ObjHeap))
+			l = w.deref(w.read(l.Addr()+1, trace.ObjHeap))
+			if len(items) > 256 {
+				return false
+			}
+		}
+		if !(l.Tag() == mem.TagCon && l.Index() == isa.NilAtom) || len(items) == 0 {
+			return false
+		}
+		name := w.deref(items[0])
+		if len(items) == 1 {
+			if name.Tag() != mem.TagCon && name.Tag() != mem.TagInt {
+				return false
+			}
+			return w.unify(w.regs[0], name)
+		}
+		if name.Tag() != mem.TagCon {
+			return false
+		}
+		atomName := w.eng.code.Syms.AtomName(name.Index())
+		if atomName == "." && len(items) == 3 {
+			addr := w.h
+			w.checkHeap()
+			w.write(w.h, items[1], trace.ObjHeap)
+			w.h++
+			w.checkHeap()
+			w.write(w.h, items[2], trace.ObjHeap)
+			w.h++
+			return w.unify(w.regs[0], mem.MakeLis(addr))
+		}
+		fidx := w.eng.code.Syms.Fun(atomName, len(items)-1)
+		addr := w.h
+		w.checkHeap()
+		w.write(w.h, mem.MakeFun(fidx), trace.ObjHeap)
+		w.h++
+		for _, it := range items[1:] {
+			w.checkHeap()
+			w.write(w.h, it, trace.ObjHeap)
+			w.h++
+		}
+		return w.unify(w.regs[0], mem.MakeStr(addr))
+	}
+	return false
+}
+
+// consList builds a proper list of the given words on the heap.
+func (w *worker) consList(items []mem.Word) mem.Word {
+	out := mem.MakeCon(isa.NilAtom)
+	for i := len(items) - 1; i >= 0; i-- {
+		addr := w.h
+		w.checkHeap()
+		w.write(w.h, items[i], trace.ObjHeap)
+		w.h++
+		w.checkHeap()
+		w.write(w.h, out, trace.ObjHeap)
+		w.h++
+		out = mem.MakeLis(addr)
+	}
+	return out
+}
+
+// biLength implements length/2 in both directions (bounded when
+// building a fresh list from a length).
+func (w *worker) biLength() bool {
+	l := w.deref(w.regs[0])
+	if l.Tag() == mem.TagLis || (l.Tag() == mem.TagCon && l.Index() == isa.NilAtom) {
+		n := int64(0)
+		for l.Tag() == mem.TagLis {
+			n++
+			if n > 1<<20 {
+				return false
+			}
+			l = w.deref(w.read(l.Addr()+1, trace.ObjHeap))
+		}
+		if !(l.Tag() == mem.TagCon && l.Index() == isa.NilAtom) {
+			return false // partial list with unbound tail and unbound N unsupported
+		}
+		return w.unify(w.regs[1], mem.MakeInt(n))
+	}
+	if l.Tag() == mem.TagRef {
+		n := w.deref(w.regs[1])
+		if n.Tag() != mem.TagInt || n.Int() < 0 || n.Int() > 1<<20 {
+			return false
+		}
+		items := make([]mem.Word, n.Int())
+		for i := range items {
+			w.checkHeap()
+			w.write(w.h, mem.MakeRef(w.h), trace.ObjHeap)
+			items[i] = mem.MakeRef(w.h)
+			w.h++
+		}
+		return w.unify(w.regs[0], w.consList(items))
+	}
+	return false
+}

@@ -1,0 +1,338 @@
+// Package core implements the RAP-WAM parallel abstract machine — the
+// paper's primary contribution. A machine is a collection of workers
+// (each a full WAM with its own Stack Set: heap, local and control
+// stacks, trail, PDL, goal stack and message buffer) cooperating on one
+// program through a single flat shared memory.
+//
+// Execution is a deterministic instruction-interleaved simulation: on
+// every cycle each worker executes one instruction (or one scheduler
+// action) in PE order. This reproduces the paper's software-emulation
+// methodology (its measurements also came from an instrumented emulator,
+// not hardware) while making every run bit-reproducible.
+//
+// Instrumentation notes:
+//   - Every data reference goes through mem.Memory and is classified
+//     with the paper's Table 1 object types.
+//   - Lock acquisition/release around goal-stack, parcall-counter and
+//     message operations are modelled as explicit reads/writes of the
+//     lock word, so locked objects cost what they cost in the paper.
+//   - Busy-waiting (a parent polling its parcall frame's completion
+//     counter, an idle worker between steal attempts) generates no
+//     memory references: a spinning PE hits its own cache and adds no
+//     bus traffic. Steal probes, however, read the victim's goal-stack
+//     top word and are traced.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// PEs is the number of workers (processing elements).
+	PEs int
+	// Layout overrides the per-worker memory layout; zero value uses
+	// mem.DefaultLayout sized to PEs.
+	Layout mem.Layout
+	// Sink receives the memory-reference trace (nil = discard).
+	Sink trace.Sink
+	// MaxCycles aborts runaway executions (0 = default 2e9).
+	MaxCycles int64
+	// StealInterval is the number of idle cycles between steal probes
+	// (default 4).
+	StealInterval int
+}
+
+// WorkerState describes what a worker is doing on a given cycle.
+type WorkerState uint8
+
+const (
+	// StateRun is productive execution ("work" in the paper's Figure 2).
+	StateRun WorkerState = iota
+	// StateWait is a parent spinning on a parcall completion counter.
+	StateWait
+	// StateIdle is a worker with no goal to execute.
+	StateIdle
+	// StateHalt means the engine stopped this worker.
+	StateHalt
+)
+
+var stateNames = [...]string{"run", "wait", "idle", "halt"}
+
+// String returns the state name.
+func (s WorkerState) String() string { return stateNames[s] }
+
+// Stats aggregates the run's instrumentation, the data behind the
+// paper's Table 2 and Figure 2.
+type Stats struct {
+	// Cycles is the total simulation length.
+	Cycles int64
+	// Instructions executed per worker (scheduler actions excluded).
+	Instructions []int64
+	// WorkRefs / WaitCycles / IdleCycles per worker.
+	WorkRefs   []int64
+	RunCycles  []int64
+	WaitCycles []int64
+	IdleCycles []int64
+	// Inferences counts procedure invocations (call/execute and
+	// parallel goal starts) — the "logical inference" unit of the
+	// paper's MLIPS arithmetic.
+	Inferences int64
+	// Parcalls is the number of parcall frames allocated.
+	Parcalls int64
+	// GoalsParallel is the number of goals scheduled through the
+	// parallel mechanism (all slots of all parcall frames) — the
+	// paper's Table 2 "Goals actually in //".
+	GoalsParallel int64
+	// GoalsStolen is the subset executed by a worker other than the
+	// frame owner.
+	GoalsStolen int64
+	// StealProbes counts steal attempts (hits + misses).
+	StealProbes int64
+	// Kills counts kill messages delivered.
+	Kills int64
+	// CheckGroundFail / CheckIndepFail count CGE condition failures
+	// (goals that fell back to sequential execution).
+	CheckFails int64
+	// MaxHeap / MaxLocal / MaxControl / MaxTrail are high-water marks
+	// (words) across workers, for storage-efficiency reporting.
+	MaxHeap, MaxLocal, MaxControl, MaxTrail int
+}
+
+// TotalInstructions sums instruction counts over workers.
+func (s Stats) TotalInstructions() int64 {
+	var n int64
+	for _, v := range s.Instructions {
+		n += v
+	}
+	return n
+}
+
+// TotalWorkRefs sums work references over workers.
+func (s Stats) TotalWorkRefs() int64 {
+	var n int64
+	for _, v := range s.WorkRefs {
+		n += v
+	}
+	return n
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Success reports whether the query succeeded.
+	Success bool
+	// Bindings maps query variable names to rendered terms.
+	Bindings map[string]string
+	// Output is everything written by write/1 and nl/0.
+	Output string
+	// Stats is the instrumentation summary.
+	Stats Stats
+	// Refs is the memory reference counter (by object type).
+	Refs *trace.Counter
+}
+
+// Engine executes a compiled program on P workers.
+type Engine struct {
+	cfg     Config
+	code    *isa.Code
+	mem     *mem.Memory
+	workers []*worker
+	cycle   int64
+	halted  bool
+	success bool
+	answerE int // query environment address at OpStop
+	out     bytes.Buffer
+
+	parcalls      int64
+	goalsParallel int64
+	goalsStolen   int64
+	stealProbes   int64
+	kills         int64
+	checkFails    int64
+
+	// debug enables a per-cycle execution trace on stdout (tests only).
+	debug bool
+}
+
+// New builds an engine for the given code.
+func New(code *isa.Code, cfg Config) (*Engine, error) {
+	if cfg.PEs <= 0 {
+		return nil, fmt.Errorf("core: PEs = %d, need >= 1", cfg.PEs)
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 2e9
+	}
+	if cfg.StealInterval <= 0 {
+		cfg.StealInterval = 4
+	}
+	layout := cfg.Layout
+	if layout.Workers == 0 {
+		layout = mem.DefaultLayout(cfg.PEs)
+	}
+	layout.Workers = cfg.PEs
+	m := mem.NewMemory(layout, cfg.Sink)
+	e := &Engine{cfg: cfg, code: code, mem: m}
+	for pe := 0; pe < cfg.PEs; pe++ {
+		e.workers = append(e.workers, newWorker(e, pe))
+	}
+	return e, nil
+}
+
+// Memory exposes the engine's shared memory (tests, answer extraction).
+func (e *Engine) Memory() *mem.Memory { return e.mem }
+
+// Run executes the query to the first solution (or failure).
+func (e *Engine) Run() (*Result, error) {
+	w0 := e.workers[0]
+	w0.pc = e.code.QueryEntry
+	w0.cp = cpQueryDone
+	w0.state = StateRun
+
+	for !e.halted {
+		if e.cycle >= e.cfg.MaxCycles {
+			return nil, fmt.Errorf("core: exceeded %d cycles (livelock or runaway program)", e.cfg.MaxCycles)
+		}
+		e.cycle++
+		for _, w := range e.workers {
+			if e.halted {
+				break
+			}
+			w.tick()
+		}
+	}
+
+	res := &Result{
+		Success: e.success,
+		Output:  e.out.String(),
+		Refs:    e.mem.Counter(),
+	}
+	res.Stats = e.stats()
+	if e.success {
+		res.Bindings = e.extractAnswers()
+	}
+	return res, nil
+}
+
+func (e *Engine) stats() Stats {
+	s := Stats{
+		Cycles:        e.cycle,
+		Parcalls:      e.parcalls,
+		GoalsParallel: e.goalsParallel,
+		GoalsStolen:   e.goalsStolen,
+		StealProbes:   e.stealProbes,
+		Kills:         e.kills,
+		CheckFails:    e.checkFails,
+	}
+	for _, w := range e.workers {
+		s.Inferences += w.inferences
+		s.Instructions = append(s.Instructions, w.instrs)
+		s.WorkRefs = append(s.WorkRefs, w.workRefs)
+		s.RunCycles = append(s.RunCycles, w.runCycles)
+		s.WaitCycles = append(s.WaitCycles, w.waitCycles)
+		s.IdleCycles = append(s.IdleCycles, w.idleCycles)
+		if hw := w.h - w.heap.Base; hw > s.MaxHeap {
+			s.MaxHeap = hw
+		}
+		if hw := w.localHigh - w.local.Base; hw > s.MaxLocal {
+			s.MaxLocal = hw
+		}
+		if hw := w.ctlHigh - w.ctl.Base; hw > s.MaxControl {
+			s.MaxControl = hw
+		}
+		if w.trHigh > s.MaxTrail {
+			s.MaxTrail = w.trHigh
+		}
+	}
+	return s
+}
+
+// halt stops every worker.
+func (e *Engine) halt(success bool, answerE int) {
+	e.halted = true
+	e.success = success
+	e.answerE = answerE
+	for _, w := range e.workers {
+		w.state = StateHalt
+	}
+}
+
+// extractAnswers renders the query variables' bindings (untraced; this
+// is host-side answer reporting, not machine work).
+func (e *Engine) extractAnswers() map[string]string {
+	out := make(map[string]string, len(e.code.QueryVars))
+	for i, name := range e.code.QueryVars {
+		addr := e.answerE + envHdr + i
+		out[name] = e.renderTerm(e.mem.Peek(addr), 0)
+	}
+	return out
+}
+
+// renderTerm formats a term by following bindings with untraced peeks.
+func (e *Engine) renderTerm(w mem.Word, depth int) string {
+	const maxDepth = 200
+	if depth > maxDepth {
+		return "..."
+	}
+	w = e.peekDeref(w)
+	switch w.Tag() {
+	case mem.TagRef:
+		return fmt.Sprintf("_G%d", w.Addr())
+	case mem.TagInt:
+		return fmt.Sprintf("%d", w.Int())
+	case mem.TagCon:
+		return e.code.Syms.AtomName(w.Index())
+	case mem.TagLis:
+		var b bytes.Buffer
+		b.WriteByte('[')
+		b.WriteString(e.renderTerm(e.mem.Peek(w.Addr()), depth+1))
+		t := e.peekDeref(e.mem.Peek(w.Addr() + 1))
+		for {
+			if t.Tag() == mem.TagCon && t.Index() == isa.NilAtom {
+				break
+			}
+			if t.Tag() != mem.TagLis {
+				b.WriteByte('|')
+				b.WriteString(e.renderTerm(t, depth+1))
+				break
+			}
+			b.WriteByte(',')
+			b.WriteString(e.renderTerm(e.mem.Peek(t.Addr()), depth+1))
+			t = e.peekDeref(e.mem.Peek(t.Addr() + 1))
+		}
+		b.WriteByte(']')
+		return b.String()
+	case mem.TagStr:
+		f := e.code.Syms.FunctorAt(e.mem.Peek(w.Addr()).Index())
+		var b bytes.Buffer
+		b.WriteString(f.Name)
+		b.WriteByte('(')
+		for i := 0; i < f.Arity; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e.renderTerm(e.mem.Peek(w.Addr()+1+i), depth+1))
+		}
+		b.WriteByte(')')
+		return b.String()
+	case mem.TagFun:
+		return e.code.Syms.FunctorAt(w.Index()).String()
+	}
+	return w.String()
+}
+
+// peekDeref follows reference chains without instrumentation.
+func (e *Engine) peekDeref(w mem.Word) mem.Word {
+	for w.Tag() == mem.TagRef {
+		next := e.mem.Peek(w.Addr())
+		if next == w {
+			return w
+		}
+		w = next
+	}
+	return w
+}

@@ -1,0 +1,202 @@
+package core
+
+// Frame layouts (word offsets). All machine frames live in the flat
+// shared memory; addresses are stored as ref-tagged words and scalars
+// (code labels, counts, trail indexes) as int-tagged words.
+
+// Environment frame (Local stack):
+//
+//	[0] CE      continuation environment (ref, -1 encoded as int)
+//	[1] CP      continuation code address (int)
+//	[2] SIZE    number of permanent variables (int)
+//	[3..]       Y0..Yn-1
+//
+// CE/CP/SIZE are the paper's "Envts./control" class (local); the Y slots
+// are "Envts./P. Vars." (global: parallel goals dereference into them).
+const (
+	envCE   = 0
+	envCP   = 1
+	envSize = 2
+	envHdr  = 3
+)
+
+// Choice point frame (Control stack):
+//
+//	[0] prevB       previous choice point (addr or -1)
+//	[1] altP        alternative clause code address
+//	[2] savedE      environment at creation
+//	[3] savedCP     continuation at creation
+//	[4] savedH      heap top at creation
+//	[5] savedTR     trail index at creation
+//	[6] savedPF     parcall frame at creation
+//	[7] savedB0     cut barrier at creation
+//	[8] savedLocal  local-stack top at creation (for storage recovery)
+//	[9] arity       number of saved argument registers
+//	[10..]          A0..Ak-1
+const (
+	cpPrevB   = 0
+	cpAltP    = 1
+	cpSavedE  = 2
+	cpSavedCP = 3
+	cpSavedH  = 4
+	cpSavedTR = 5
+	cpSavedPF = 6
+	cpSavedB0 = 7
+	cpSavedLo = 8
+	cpArity   = 9
+	cpHdr     = 10
+)
+
+// Marker frame (Control stack). A marker opens a Stack Section: the
+// horizontal cut through a worker's stack set corresponding to the
+// execution of one parallel goal (paper §1). It records everything
+// needed to recover the section's storage on failure or kill, and to
+// resume the worker's previous activity on completion.
+//
+//	[0]  prevGM     previous goal marker (addr or -1)
+//	[1]  pf         parcall frame this goal belongs to
+//	[2]  slot       goal slot index (1-based)
+//	[3]  savedB     B at goal start
+//	[4]  savedB0    B0 at goal start
+//	[5]  savedE     E at goal start
+//	[6]  savedH     H at goal start (section heap base)
+//	[7]  savedTR    trail index at goal start
+//	[8]  savedCP    CP at goal start
+//	[9]  savedPF    PF at goal start
+//	[10] savedLocal local-stack top at goal start
+//	[11] savedHB    HB at goal start
+const (
+	mkPrevGM  = 0
+	mkPF      = 1
+	mkSlot    = 2
+	mkSavedB  = 3
+	mkSavedB0 = 4
+	mkSavedE  = 5
+	mkSavedH  = 6
+	mkSavedTR = 7
+	mkSavedCP = 8
+	mkSavedPF = 9
+	mkSavedLo = 10
+	mkSavedHB = 11
+	mkSize    = 12
+)
+
+// Parcall frame (Local stack):
+//
+//	[0]  prevPF     previous parcall frame (addr or -1)
+//	[1]  CE         environment at frame creation
+//	[2]  contP      continuation code address (after the CGE)
+//	[3]  ngoals     number of parallel goals
+//	[4]  lock       completion-counter lock word
+//	[5]  pending    goals not yet completed (under lock)
+//	[6]  status     0 = running, 1 = failed, 2 = dead
+//	[7]  owner      PE that created the frame
+//	[8]  parentB    B at frame creation (restored on parcall failure)
+//	[9]  parentH    H at frame creation
+//	[10] parentTR   trail index at frame creation
+//	[11] parentCtl  control-stack top at frame creation
+//	[12..] slots    per goal: {state, pe, startTR, endTR} — state 0
+//	                pending, 1 executing, 2 done, 3 failed, 4 killed;
+//	                startTR/endTR delimit the goal's segment on its
+//	                executor's trail (used to undo a completed remote
+//	                goal's bindings when the parcall later fails)
+//
+// Classification per paper Table 1: prevPF/CE/contP are Parcall/Local;
+// ngoals/status/owner/parent*/slots are Parcall/Global; lock+pending are
+// Parcall/Counts (locked).
+const (
+	pfPrevPF   = 0
+	pfCE       = 1
+	pfContP    = 2
+	pfNGoals   = 3
+	pfLock     = 4
+	pfPending  = 5
+	pfStatus   = 6
+	pfOwner    = 7
+	pfParentB  = 8
+	pfParentH  = 9
+	pfParentTR = 10
+	pfParentCt = 11
+	pfHdr      = 12
+	pfSlotLen  = 4
+
+	slotOffState   = 0
+	slotOffPE      = 1
+	slotOffStartTR = 2
+	slotOffEndTR   = 3
+)
+
+// Goal slot states.
+const (
+	slotPending = 0
+	slotExec    = 1
+	slotDone    = 2
+	slotFailed  = 3
+	slotKilled  = 4
+)
+
+// Parcall frame status values.
+const (
+	pfRunning = 0
+	pfFailed  = 1
+	pfDead    = 2
+)
+
+func pfSize(ngoals int) int { return pfHdr + ngoals*pfSlotLen }
+
+// Goal stack layout (per worker):
+//
+//	[0] lock
+//	[1] top (word offset of next free word, relative to area base)
+//	[2..] goal frames
+//
+// Goal frame:
+//
+//	[0] pf      parcall frame address
+//	[1] slot    goal slot index
+//	[2] entryP  procedure entry label
+//	[3] arity
+//	[4..] args  argument registers A0..Ak-1
+const (
+	gsLock  = 0
+	gsTop   = 1
+	gsBase  = 2
+	gfPF    = 0
+	gfSlot  = 1
+	gfEntry = 2
+	gfArity = 3
+	gfHdr   = 4
+)
+
+// Message buffer layout (per worker):
+//
+//	[0] lock
+//	[1] count
+//	[2..] messages, 2 words each: {type, arg}
+const (
+	mbLock  = 0
+	mbCount = 1
+	mbBase  = 2
+	msgLen  = 2
+)
+
+// Message types.
+const (
+	// msgKill asks the receiving worker to abandon and unwind its
+	// current parallel goal (and everything nested inside it).
+	msgKill = 1
+	// msgUnwind asks the receiver to recover the storage of a
+	// completed section (best-effort; see core package docs).
+	msgUnwind = 2
+)
+
+// Sentinel code addresses used in CP.
+const (
+	// cpParReturn marks the return point of a parallel goal: proceed
+	// lands in the worker's goal-completion handler.
+	cpParReturn = -2
+	// cpQueryDone marks the bottom of the query's continuation chain.
+	cpQueryDone = -3
+	// none is the nil address.
+	none = -1
+)

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests: the engine checked against Go-computed ground truth
+// on randomized inputs.
+
+func intsToList(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, v := range xs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func TestAppendMatchesGoProperty(t *testing.T) {
+	prog := `
+		app([], L, L).
+		app([H|T], L, [H|R]) :- app(T, L, R).
+	`
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]int, rng.Intn(20))
+		b := make([]int, rng.Intn(20))
+		for i := range a {
+			a[i] = rng.Intn(100) - 50
+		}
+		for i := range b {
+			b[i] = rng.Intn(100) - 50
+		}
+		res := runQuery(t, prog, fmt.Sprintf("app(%s, %s, X)", intsToList(a), intsToList(b)), 1, true)
+		want := intsToList(append(append([]int{}, a...), b...))
+		return res.Success && res.Bindings["X"] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQsortMatchesGoProperty(t *testing.T) {
+	prog := `
+		qsort([], R, R).
+		qsort([X|L], R, R0) :-
+			part(L, X, L1, L2),
+			(qsort(L1, R, [X|R1]) & qsort(L2, R1, R0)).
+		part([], _, [], []).
+		part([E|R], C, [E|L1], L2) :- E < C, !, part(R, C, L1, L2).
+		part([E|R], C, L1, [E|L2]) :- part(R, C, L1, L2).
+	`
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		pes := 1 + rng.Intn(6)
+		res := runQuery(t, prog, fmt.Sprintf("qsort(%s, S, [])", intsToList(xs)), pes, false)
+		sorted := append([]int{}, xs...)
+		sort.Ints(sorted)
+		return res.Success && res.Bindings["S"] == intsToList(sorted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmeticMatchesGoProperty(t *testing.T) {
+	// Random expression trees over +,-,* evaluated by the engine and Go.
+	type node struct {
+		text string
+		val  int64
+	}
+	var gen func(rng *rand.Rand, depth int) node
+	gen = func(rng *rand.Rand, depth int) node {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			v := int64(rng.Intn(20) - 10)
+			if v < 0 {
+				return node{fmt.Sprintf("(0 - %d)", -v), v}
+			}
+			return node{fmt.Sprintf("%d", v), v}
+		}
+		l := gen(rng, depth-1)
+		r := gen(rng, depth-1)
+		switch rng.Intn(3) {
+		case 0:
+			return node{fmt.Sprintf("(%s + %s)", l.text, r.text), l.val + r.val}
+		case 1:
+			return node{fmt.Sprintf("(%s - %s)", l.text, r.text), l.val - r.val}
+		default:
+			return node{fmt.Sprintf("(%s * %s)", l.text, r.text), l.val * r.val}
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := gen(rng, 4)
+		res := runQuery(t, "calc(R, R).", fmt.Sprintf("X is %s, calc(X, R)", n.text), 1, true)
+		return res.Success && res.Bindings["R"] == fmt.Sprintf("%d", n.val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelDeterminismProperty(t *testing.T) {
+	// Any PE count: two runs of the same program produce identical
+	// cycles and references (the engine is a deterministic simulation).
+	f := func(seed int64) bool {
+		pes := 1 + int(uint64(seed)%7)
+		a := runQuery(t, fibProg, "fib(11, F)", pes, false)
+		b := runQuery(t, fibProg, "fib(11, F)", pes, false)
+		return a.Stats.Cycles == b.Stats.Cycles &&
+			a.Refs.Total() == b.Refs.Total() &&
+			a.Bindings["F"] == b.Bindings["F"]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBacktrackingRestoresBindingsProperty(t *testing.T) {
+	// A clause that binds deeply then fails must leave no residue: the
+	// second clause sees the variable unbound.
+	prog := `
+		build(0, leaf).
+		build(N, t(S, S)) :- N > 0, M is N - 1, build(M, S).
+		try(X, N) :- build(N, X), fail.
+		try(unbound_after, _).
+	`
+	f := func(n uint8) bool {
+		depth := int(n % 12)
+		res := runQuery(t, prog, fmt.Sprintf("try(X, %d)", depth), 1, true)
+		return res.Success && res.Bindings["X"] == "unbound_after"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- failure injection across PEs ---
+
+func TestKillPathsWithSlowSiblings(t *testing.T) {
+	// One arm fails quickly while siblings grind: the parcall must fail
+	// promptly, surviving workers unwind, and the fallback clause runs.
+	prog := `
+		slow(0).
+		slow(N) :- N > 0, M is N - 1, slow(M).
+		bad(_) :- fail.
+		race(X) :- slow(X) & bad(X) & slow(X).
+		race(-1).
+	`
+	for _, pes := range []int{1, 2, 3, 4, 8} {
+		res := runQuery(t, prog, "race(R)", pes, false)
+		wantBinding(t, res, "R", "-1")
+	}
+}
+
+func TestKillPathsWithNestedParallelism(t *testing.T) {
+	// The failing arm sits under two levels of parcalls; kills must
+	// propagate through the nested frames.
+	prog := `
+		ok(1).
+		bad :- fail.
+		inner(X) :- ok(X) & failing.
+		failing :- ok(_) & bad.
+		outer(X) :- inner(X) & ok(_).
+		outer(99).
+	`
+	for _, pes := range []int{1, 2, 4, 8} {
+		res := runQuery(t, prog, "outer(R)", pes, false)
+		wantBinding(t, res, "R", "99")
+	}
+}
+
+func TestFailureAfterParcallBacktracksIntoIt(t *testing.T) {
+	// A goal after the CGE fails; backtracking re-enters the clause's
+	// earlier alternatives (outside the parcall).
+	prog := `
+		p(1). p(2).
+		q(_).
+		pick(X) :- p(X), (q(X) & q(X)), X > 1.
+	`
+	for _, pes := range []int{1, 2, 4} {
+		res := runQuery(t, prog, "pick(X)", pes, false)
+		wantBinding(t, res, "X", "2")
+	}
+}
+
+func TestSequentialFallbackInsideParallelGoal(t *testing.T) {
+	// A stolen goal whose body contains a conditional CGE that falls
+	// back to sequential execution (condition fails at run time).
+	prog := `
+		p(1). q(2).
+		sub(A, B, V) :- (ground(V) | p(A) & q(B)).
+		top(A, B, C, D, V) :- sub(A, B, V) & sub(C, D, V).
+	`
+	res := runQuery(t, prog, "top(A, B, C, D, _)", 4, false)
+	wantBinding(t, res, "A", "1")
+	wantBinding(t, res, "D", "2")
+}
+
+func TestStorageRecoveredAcrossManyParcalls(t *testing.T) {
+	// Thousands of sequential parcalls must run in bounded local and
+	// control stack space (sections recovered at completion).
+	prog := `
+		p(1). q(2).
+		loop(0).
+		loop(N) :- N > 0, (p(_) & q(_)), M is N - 1, loop(M).
+	`
+	res := runQuery(t, prog, "loop(3000)", 2, false)
+	if !res.Success {
+		t.Fatal("loop failed")
+	}
+	if res.Stats.MaxLocal > 4000 {
+		t.Errorf("local high water %d words for 3000 parcalls; sections leak", res.Stats.MaxLocal)
+	}
+	if res.Stats.MaxControl > 4000 {
+		t.Errorf("control high water %d words; markers leak", res.Stats.MaxControl)
+	}
+}
+
+func TestManyWorkersManyGoals(t *testing.T) {
+	// Stress: wide fan-out across the maximum tested worker count.
+	prog := `
+		w(0).
+		w(N) :- N > 0, M is N - 1, w(M).
+		fan(0).
+		fan(N) :- N > 0, M is N - 1, (w(50) & fan(M)).
+	`
+	res := runQuery(t, prog, "fan(200)", 16, false)
+	if !res.Success {
+		t.Fatal("fan failed")
+	}
+	busy := 0
+	for _, r := range res.Stats.WorkRefs {
+		if r > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Errorf("only %d of 16 workers participated", busy)
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import "testing"
+
+func TestMixedArityClauseDbFails(t *testing.T) {
+	// The exact program that previously reported a spurious success:
+	// clause/1 and clause/2 coexist; rev's base case is (wrongly) a
+	// clause/1 fact, so solve(rev(...)) must fail.
+	prog := `
+		clause(app([], L, L), true).
+		clause(app([H|T], L, [H|R]), app(T, L, R)).
+		clause(rev([], [])).
+		clause(rev([H|T], R), (rev(T, RT), app(RT, [H], R))).
+		clause(member(X, [X|_]), true).
+		clause(member(X, [_|T]), member(X, T)).
+		clause(C) :- clause2(C).
+		clause2(_) :- fail.
+		solve(true) :- !.
+		solve((A, B)) :- !, solve(A), solve(B).
+		solve(G) :- clause(G, B), solve(B).
+	`
+	res := runQuery(t, prog, "solve(rev([1,2,3,4,5], R))", 1, true)
+	if res.Success {
+		t.Errorf("query should fail, got success with R=%q", res.Bindings["R"])
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+func TestFailingMetaInterpreterFails(t *testing.T) {
+	// Regression: rev/2 has no base case in the object program, so the
+	// query must FAIL (an earlier engine state reported success).
+	prog := `
+		clause(app([], L, L), true).
+		clause(app([H|T], L, [H|R]), app(T, L, R)).
+		clause(rev([H|T], R), (rev(T, RT), app(RT, [H], R))).
+		solve(true) :- !.
+		solve((A, B)) :- !, solve(A), solve(B).
+		solve(G) :- clause(G, B), solve(B).
+	`
+	res := runQuery(t, prog, "solve(rev([1,2], R))", 1, true)
+	if res.Success {
+		t.Errorf("query should fail, got success with R=%q", res.Bindings["R"])
+	}
+}

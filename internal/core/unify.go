@@ -1,0 +1,231 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// deref follows the reference chain of w, generating one traced read per
+// hop, and returns either an unbound ref (self-reference) or a value.
+func (w *worker) deref(v mem.Word) mem.Word {
+	for v.Tag() == mem.TagRef {
+		cell := w.read(v.Addr(), w.dataObj(v.Addr()))
+		if cell == v {
+			return v // unbound
+		}
+		v = cell
+	}
+	return v
+}
+
+// bind stores value into the unbound cell at addr, trailing the binding
+// when it must be undone on backtracking:
+//   - heap cells older than HB (a choice point exists above them),
+//   - any cell while inside a parallel goal or under a choice point
+//     (conservative for split local stacks; harmless extra entries),
+//   - any cell belonging to another worker (its unwinding is
+//     coordinated through markers and messages).
+func (w *worker) bind(addr int, value mem.Word) {
+	ownerPE, area := w.eng.mem.Classify(addr)
+	obj := trace.ObjHeap
+	switch area {
+	case trace.AreaHeap:
+		obj = trace.ObjHeap
+	case trace.AreaLocal:
+		obj = trace.ObjEnvPVar
+	case trace.AreaGoal:
+		obj = trace.ObjGoalFrame
+	}
+	w.write(addr, value, obj)
+
+	trail := false
+	if ownerPE != w.pe {
+		trail = true
+	} else {
+		switch area {
+		case trace.AreaHeap:
+			trail = w.hb != none && addr < w.hb
+		default:
+			trail = w.b != none || w.gm != none
+		}
+	}
+	if trail {
+		w.pushTrail(addr)
+	}
+}
+
+// bindOrder binds one unbound variable to another, choosing direction so
+// that references never dangle:
+//   - a local-stack (environment) variable binds to a heap variable,
+//   - within one area, the younger (higher address) binds to the older,
+//   - across workers, the executing worker's own cell binds to the
+//     remote one when possible (its own section is recovered with the
+//     goal), falling back to address order.
+func (w *worker) bindOrder(a, b mem.Word) {
+	aAddr, bAddr := a.Addr(), b.Addr()
+	aPE, aArea := w.eng.mem.Classify(aAddr)
+	bPE, bArea := w.eng.mem.Classify(bAddr)
+
+	switch {
+	case aPE != bPE:
+		if aPE == w.pe {
+			w.bind(aAddr, b)
+		} else if bPE == w.pe {
+			w.bind(bAddr, a)
+		} else if aAddr > bAddr {
+			w.bind(aAddr, b)
+		} else {
+			w.bind(bAddr, a)
+		}
+	case aArea == trace.AreaLocal && bArea == trace.AreaHeap:
+		w.bind(aAddr, b)
+	case aArea == trace.AreaHeap && bArea == trace.AreaLocal:
+		w.bind(bAddr, a)
+	case aAddr > bAddr:
+		w.bind(aAddr, b)
+	default:
+		w.bind(bAddr, a)
+	}
+}
+
+// pdl addresses
+func (w *worker) pdlAddr(i int) int { return w.pdlR.Base + i }
+
+// unify performs general unification using the worker's PDL; push-down
+// list traffic is traced like every other area (the paper's Table 1
+// counts PDL entries).
+func (w *worker) unify(a, b mem.Word) bool {
+	pdl := 0
+	push := func(x, y mem.Word) {
+		if w.pdlAddr(pdl+2) > w.pdlR.Limit {
+			panic(machineError{"pdl overflow"})
+		}
+		w.write(w.pdlAddr(pdl), x, trace.ObjPDL)
+		w.write(w.pdlAddr(pdl+1), y, trace.ObjPDL)
+		pdl += 2
+	}
+	push(a, b)
+	for pdl > 0 {
+		pdl -= 2
+		x := w.read(w.pdlAddr(pdl), trace.ObjPDL)
+		y := w.read(w.pdlAddr(pdl+1), trace.ObjPDL)
+		d1 := w.deref(x)
+		d2 := w.deref(y)
+		if d1 == d2 {
+			continue
+		}
+		if d1.Tag() == mem.TagRef {
+			if d2.Tag() == mem.TagRef {
+				w.bindOrder(d1, d2)
+			} else {
+				w.bind(d1.Addr(), d2)
+			}
+			continue
+		}
+		if d2.Tag() == mem.TagRef {
+			w.bind(d2.Addr(), d1)
+			continue
+		}
+		switch {
+		case d1.Tag() == mem.TagInt && d2.Tag() == mem.TagInt,
+			d1.Tag() == mem.TagCon && d2.Tag() == mem.TagCon:
+			if d1 != d2 {
+				return false
+			}
+		case d1.Tag() == mem.TagLis && d2.Tag() == mem.TagLis:
+			push(mem.MakeRef(d1.Addr()+1), mem.MakeRef(d2.Addr()+1))
+			push(mem.MakeRef(d1.Addr()), mem.MakeRef(d2.Addr()))
+		case d1.Tag() == mem.TagStr && d2.Tag() == mem.TagStr:
+			f1 := w.read(d1.Addr(), trace.ObjHeap)
+			f2 := w.read(d2.Addr(), trace.ObjHeap)
+			if f1 != f2 {
+				return false
+			}
+			arity := w.eng.code.Syms.FunctorAt(f1.Index()).Arity
+			for i := arity; i >= 1; i-- {
+				push(mem.MakeRef(d1.Addr()+i), mem.MakeRef(d2.Addr()+i))
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// unifyConstant unifies a register value with an atomic constant: the
+// common fast path of get_constant/unify_constant.
+func (w *worker) unifyConstant(v, c mem.Word) bool {
+	d := w.deref(v)
+	if d.Tag() == mem.TagRef {
+		w.bind(d.Addr(), c)
+		return true
+	}
+	return d == c
+}
+
+// groundCheck walks a term checking for unbound variables. The walk
+// reads memory through the normal traced path: run-time independence
+// checks are part of RAP-WAM's overhead and the paper measures them.
+func (w *worker) groundCheck(v mem.Word) bool {
+	var stack []mem.Word
+	stack = append(stack, v)
+	for len(stack) > 0 {
+		t := w.deref(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		switch t.Tag() {
+		case mem.TagRef:
+			return false
+		case mem.TagLis:
+			stack = append(stack, w.read(t.Addr(), trace.ObjHeap), w.read(t.Addr()+1, trace.ObjHeap))
+		case mem.TagStr:
+			f := w.read(t.Addr(), trace.ObjHeap)
+			arity := w.eng.code.Syms.FunctorAt(f.Index()).Arity
+			for i := 1; i <= arity; i++ {
+				stack = append(stack, w.read(t.Addr()+i, trace.ObjHeap))
+			}
+		}
+	}
+	return true
+}
+
+// collectVars appends the addresses of the unbound variables in v.
+func (w *worker) collectVars(v mem.Word, into map[int]bool) {
+	var stack []mem.Word
+	stack = append(stack, v)
+	for len(stack) > 0 {
+		t := w.deref(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		switch t.Tag() {
+		case mem.TagRef:
+			into[t.Addr()] = true
+		case mem.TagLis:
+			stack = append(stack, w.read(t.Addr(), trace.ObjHeap), w.read(t.Addr()+1, trace.ObjHeap))
+		case mem.TagStr:
+			f := w.read(t.Addr(), trace.ObjHeap)
+			arity := w.eng.code.Syms.FunctorAt(f.Index()).Arity
+			for i := 1; i <= arity; i++ {
+				stack = append(stack, w.read(t.Addr()+i, trace.ObjHeap))
+			}
+		}
+	}
+}
+
+// indepCheck reports whether two terms share no unbound variable — the
+// run-time strict-independence test of the CGE.
+func (w *worker) indepCheck(a, b mem.Word) bool {
+	seen := map[int]bool{}
+	w.collectVars(a, seen)
+	if len(seen) == 0 {
+		return true
+	}
+	shared := false
+	other := map[int]bool{}
+	w.collectVars(b, other)
+	for addr := range other {
+		if seen[addr] {
+			shared = true
+			break
+		}
+	}
+	return !shared
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// worker is one RAP-WAM abstract machine: a full register set plus its
+// regions of the shared address space (its Stack Set).
+type worker struct {
+	eng *Engine
+	pe  int
+
+	// Regions.
+	heap, local, ctl, trailR, pdlR, goalR, msgR mem.Region
+
+	// Machine registers (host-side; register-file accesses are not
+	// memory references, as in the WAM).
+	regs [isa.NumRegs]mem.Word
+	pc   int32 // code pointer
+	cp   int32 // continuation code pointer (or sentinel)
+	e    int   // current environment (addr or none)
+	b    int   // youngest choice point (addr or none)
+	b0   int   // cut barrier
+	h    int   // heap top (next free)
+	hb   int   // heap backtrack point
+	s    int   // structure pointer (read mode)
+	mode uint8 // read/write unification mode
+	tr   int   // trail index (entries, not addr)
+	pf   int   // current parcall frame (addr or none)
+	gm   int   // current goal marker (addr or none)
+
+	localTop int // next free local-stack word
+	ctlTop   int // next free control-stack word
+	hbFloor  int // HB floor for the current goal section
+
+	// High-water marks for storage reporting.
+	localHigh, ctlHigh, trHigh int
+
+	state      WorkerState
+	killFlag   bool
+	instrs     int64
+	inferences int64
+	workRefs   int64
+	runCycles  int64
+	waitCycles int64
+	idleCycles int64
+	idleClock  int  // cycles since last steal probe
+	stealNext  int  // next victim PE to probe
+	failedGoal bool // last goal completion was a failure
+}
+
+const (
+	modeRead  = 0
+	modeWrite = 1
+)
+
+func newWorker(e *Engine, pe int) *worker {
+	w := &worker{
+		eng:    e,
+		pe:     pe,
+		heap:   e.mem.Region(pe, trace.AreaHeap),
+		local:  e.mem.Region(pe, trace.AreaLocal),
+		ctl:    e.mem.Region(pe, trace.AreaControl),
+		trailR: e.mem.Region(pe, trace.AreaTrail),
+		pdlR:   e.mem.Region(pe, trace.AreaPDL),
+		goalR:  e.mem.Region(pe, trace.AreaGoal),
+		msgR:   e.mem.Region(pe, trace.AreaMsg),
+		state:  StateIdle,
+		e:      none, b: none, b0: none, pf: none, gm: none,
+		hbFloor:   none,
+		hb:        none,
+		stealNext: (pe + 1) % e.cfg.PEs,
+	}
+	w.h = w.heap.Base
+	w.localTop = w.local.Base
+	w.ctlTop = w.ctl.Base
+	w.localHigh = w.localTop
+	w.ctlHigh = w.ctlTop
+	// Initialize goal stack header (untraced machine bring-up).
+	e.mem.Poke(w.goalR.Base+gsLock, 0)
+	e.mem.Poke(w.goalR.Base+gsTop, mem.MakeInt(gsBase))
+	e.mem.Poke(w.msgR.Base+mbLock, 0)
+	e.mem.Poke(w.msgR.Base+mbCount, mem.MakeInt(0))
+	return w
+}
+
+// --- instrumented memory access ---
+
+func (w *worker) read(addr int, obj trace.ObjType) mem.Word {
+	w.workRefs++
+	return w.eng.mem.Read(w.pe, addr, obj)
+}
+
+func (w *worker) write(addr int, v mem.Word, obj trace.ObjType) {
+	w.workRefs++
+	w.eng.mem.Write(w.pe, addr, v, obj)
+}
+
+// dataObj classifies an address for value reads performed during
+// dereferencing and unification: heap cells, environment variables (own
+// or remote) or goal-frame words.
+func (w *worker) dataObj(addr int) trace.ObjType {
+	_, area := w.eng.mem.Classify(addr)
+	switch area {
+	case trace.AreaHeap:
+		return trace.ObjHeap
+	case trace.AreaLocal:
+		return trace.ObjEnvPVar
+	case trace.AreaGoal:
+		return trace.ObjGoalFrame
+	case trace.AreaControl:
+		return trace.ObjChoicePoint
+	case trace.AreaMsg:
+		return trace.ObjMessage
+	}
+	return trace.ObjHeap
+}
+
+// --- overflow checks (simulation-level resource errors) ---
+
+func (w *worker) checkHeap() {
+	if w.h >= w.heap.Limit {
+		panic(machineError{fmt.Sprintf("pe%d: heap overflow", w.pe)})
+	}
+}
+
+func (w *worker) checkLocal(n int) {
+	if w.localTop+n > w.local.Limit {
+		panic(machineError{fmt.Sprintf("pe%d: local stack overflow", w.pe)})
+	}
+}
+
+func (w *worker) checkCtl(n int) {
+	if w.ctlTop+n > w.ctl.Limit {
+		panic(machineError{fmt.Sprintf("pe%d: control stack overflow", w.pe)})
+	}
+}
+
+type machineError struct{ msg string }
+
+func (e machineError) Error() string { return e.msg }
+
+// --- trail ---
+
+func (w *worker) trailAddr(i int) int { return w.trailR.Base + i }
+
+// pushTrail records a binding address for backtracking.
+func (w *worker) pushTrail(addr int) {
+	if w.trailAddr(w.tr) >= w.trailR.Limit {
+		panic(machineError{fmt.Sprintf("pe%d: trail overflow", w.pe)})
+	}
+	w.write(w.trailAddr(w.tr), mem.MakeRef(addr), trace.ObjTrail)
+	w.tr++
+	if w.tr > w.trHigh {
+		w.trHigh = w.tr
+	}
+}
+
+// unwindTrail resets bindings down to trail index target.
+func (w *worker) unwindTrail(target int) {
+	for w.tr > target {
+		w.tr--
+		entry := w.read(w.trailAddr(w.tr), trace.ObjTrail)
+		addr := entry.Addr()
+		w.write(addr, mem.MakeRef(addr), w.dataObj(addr))
+	}
+}
+
+// --- cycle execution ---
+
+// tick advances this worker by one simulation step.
+func (w *worker) tick() {
+	switch w.state {
+	case StateHalt:
+		return
+	case StateRun:
+		if w.killFlag && w.gm != none {
+			w.handleKill()
+			return
+		}
+		w.runCycles++
+		w.step()
+	case StateWait:
+		if w.killFlag && w.gm != none {
+			w.handleKill()
+			return
+		}
+		w.waitCycles++
+		w.pollFrame()
+	case StateIdle:
+		w.killFlag = false // nothing to kill
+		w.idleCycles++
+		w.idleClock++
+		if w.idleClock >= w.eng.cfg.StealInterval {
+			w.idleClock = 0
+			w.trySteal()
+		}
+	}
+}
+
+// step executes one instruction, converting machine errors into engine
+// aborts with context.
+func (w *worker) step() {
+	defer func() {
+		if r := recover(); r != nil {
+			if me, ok := r.(machineError); ok {
+				panic(fmt.Errorf("cycle %d pc %d: %s", w.eng.cycle, w.pc, me.msg))
+			}
+			panic(r)
+		}
+	}()
+	if w.pc < 0 {
+		if w.eng.debug {
+			fmt.Printf("c%d pe%d sentinel %d state=%v pf=%d gm=%d b=%d\n", w.eng.cycle, w.pe, w.pc, w.state, w.pf, w.gm, w.b)
+		}
+		w.controlSentinel(w.pc)
+		return
+	}
+	ins := w.eng.code.Instrs[w.pc]
+	if w.eng.debug {
+		fmt.Printf("c%d pe%d pc%d %v | e=%d b=%d pf=%d gm=%d lt=%d ct=%d\n", w.eng.cycle, w.pe, w.pc, ins, w.e, w.b, w.pf, w.gm, w.localTop, w.ctlTop)
+	}
+	w.instrs++
+	w.execute(ins)
+}
+
+// controlSentinel handles CP sentinels reached via proceed/execute.
+func (w *worker) controlSentinel(pc int32) {
+	switch pc {
+	case cpQueryDone:
+		// The query's last call proceeded without OpStop — treat as
+		// success without bindings (defensive; OpStop is the normal
+		// path).
+		w.eng.halt(true, w.e)
+	case cpParReturn:
+		w.completeGoal(true)
+	default:
+		panic(machineError{fmt.Sprintf("pe%d: bad code address %d", w.pe, pc)})
+	}
+}
+
+// --- goal stack operations (locked; Table 1 "Goal Frames") ---
+
+// lockAcquire models a test-and-set acquisition: one read and one write
+// of the lock word. In the deterministic interleaving each step is
+// atomic, so acquisition always succeeds; the cost remains.
+func (w *worker) lockAcquire(addr int, obj trace.ObjType) {
+	w.read(addr, obj)
+	w.write(addr, mem.MakeInt(1), obj)
+}
+
+func (w *worker) lockRelease(addr int, obj trace.ObjType) {
+	w.write(addr, mem.MakeInt(0), obj)
+}
+
+// pushGoal pushes a goal frame onto this worker's goal stack.
+func (w *worker) pushGoal(pfAddr int, slot int, entry int32, arity int) {
+	base := w.goalR.Base
+	w.lockAcquire(base+gsLock, trace.ObjGoalFrame)
+	top := int(w.read(base+gsTop, trace.ObjGoalFrame).Int())
+	frameLen := gfHdr + arity + 1 // +1 for the back-pointer word
+	if base+top+frameLen > w.goalR.Limit {
+		panic(machineError{fmt.Sprintf("pe%d: goal stack overflow", w.pe)})
+	}
+	at := base + top
+	w.write(at+gfPF, mem.MakeRef(pfAddr), trace.ObjGoalFrame)
+	w.write(at+gfSlot, mem.MakeInt(int64(slot)), trace.ObjGoalFrame)
+	w.write(at+gfEntry, mem.MakeInt(int64(entry)), trace.ObjGoalFrame)
+	w.write(at+gfArity, mem.MakeInt(int64(arity)), trace.ObjGoalFrame)
+	for i := 0; i < arity; i++ {
+		w.write(at+gfHdr+i, w.regs[i], trace.ObjGoalFrame)
+	}
+	// Back-pointer: the word just below the new top holds this frame's
+	// start offset, making pops O(1) with variable-length frames.
+	w.write(at+gfHdr+arity, mem.MakeInt(int64(top)), trace.ObjGoalFrame)
+	w.write(base+gsTop, mem.MakeInt(int64(top+frameLen)), trace.ObjGoalFrame)
+	w.lockRelease(base+gsLock, trace.ObjGoalFrame)
+}
+
+// popGoal pops the youngest goal frame from the stack of victim (which
+// may be this worker). It returns ok=false if the stack was empty.
+func (w *worker) popGoal(victim *worker) (pfAddr, slot int, entry int32, args []mem.Word, ok bool) {
+	base := victim.goalR.Base
+	w.lockAcquire(base+gsLock, trace.ObjGoalFrame)
+	top := int(w.read(base+gsTop, trace.ObjGoalFrame).Int())
+	if top <= gsBase {
+		w.lockRelease(base+gsLock, trace.ObjGoalFrame)
+		return 0, 0, 0, nil, false
+	}
+	// Frames are variable length; walk from the base to find the last
+	// frame's offset. To keep the pop O(1) (as a real implementation
+	// would, with frames linked), each frame's length is derivable from
+	// its arity word; we store a back-pointer instead: the word just
+	// below top is the frame start offset.
+	at := base + int(w.read(base+top-1, trace.ObjGoalFrame).Int())
+	pfAddr = w.read(at+gfPF, trace.ObjGoalFrame).Addr()
+	slot = int(w.read(at+gfSlot, trace.ObjGoalFrame).Int())
+	entry = int32(w.read(at+gfEntry, trace.ObjGoalFrame).Int())
+	arity := int(w.read(at+gfArity, trace.ObjGoalFrame).Int())
+	args = make([]mem.Word, arity)
+	for i := 0; i < arity; i++ {
+		args[i] = w.read(at+gfHdr+i, trace.ObjGoalFrame)
+	}
+	w.write(base+gsTop, mem.MakeInt(int64(at-base)), trace.ObjGoalFrame)
+	w.lockRelease(base+gsLock, trace.ObjGoalFrame)
+	return pfAddr, slot, entry, args, true
+}
+
+// --- messages ---
+
+// sendMessage appends a message to the target worker's buffer and (for
+// kills) raises its host-side kill flag.
+func (w *worker) sendMessage(target int, mtype int, arg int) {
+	tw := w.eng.workers[target]
+	base := tw.msgR.Base
+	w.lockAcquire(base+mbLock, trace.ObjMessage)
+	count := int(w.read(base+mbCount, trace.ObjMessage).Int())
+	at := base + mbBase + count*msgLen
+	if at+msgLen <= tw.msgR.Limit {
+		w.write(at, mem.MakeInt(int64(mtype)), trace.ObjMessage)
+		w.write(at+1, mem.MakeInt(int64(arg)), trace.ObjMessage)
+		w.write(base+mbCount, mem.MakeInt(int64(count+1)), trace.ObjMessage)
+	}
+	w.lockRelease(base+mbLock, trace.ObjMessage)
+	if mtype == msgKill {
+		tw.killFlag = true
+		w.eng.kills++
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/busmodel"
+	"repro/internal/cache"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: design
+// choices of the RAP-WAM/simulation stack varied one at a time.
+
+// GranularityPoint is one depth setting of the granularity sweep.
+type GranularityPoint struct {
+	Depth         int
+	GoalsParallel int64
+	RefsOverhead  float64 // parallel refs / sequential refs - 1
+	Speedup8      float64 // cycles(1 PE seq) / cycles(8 PEs)
+}
+
+// GranularitySweep varies deriv's parallelism depth budget: depth 0 is
+// sequential; each level doubles available parallelism but also
+// parallelism-management overhead. This quantifies the granularity
+// control implicit in the paper's benchmark annotations.
+type GranularitySweep struct {
+	Points []GranularityPoint
+}
+
+// RunGranularitySweep measures deriv at the given depths.
+func RunGranularitySweep(depths []int) (*GranularitySweep, error) {
+	base, err := bench.Run(bench.DerivDepth(0), bench.RunConfig{PEs: 1, Sequential: true})
+	if err != nil {
+		return nil, err
+	}
+	baseRefs := float64(base.Stats.TotalWorkRefs())
+	baseCycles := float64(base.Stats.Cycles)
+	out := &GranularitySweep{}
+	for _, d := range depths {
+		res, err := bench.Run(bench.DerivDepth(d), bench.RunConfig{PEs: 8})
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, GranularityPoint{
+			Depth:         d,
+			GoalsParallel: res.Stats.GoalsParallel,
+			RefsOverhead:  float64(res.Stats.TotalWorkRefs())/baseRefs - 1,
+			Speedup8:      baseCycles / float64(res.Stats.Cycles),
+		})
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (g *GranularitySweep) String() string {
+	t := stats.NewTable("Ablation: CGE granularity depth (deriv, 8 PEs)",
+		"depth", "goals//", "refs overhead", "speedup")
+	for _, p := range g.Points {
+		t.AddRow(p.Depth, p.GoalsParallel, fmt.Sprintf("%.1f%%", 100*p.RefsOverhead), p.Speedup8)
+	}
+	return t.String()
+}
+
+// LineSizeSweep varies the cache line size at a fixed capacity — the
+// paper fixes four-word lines; this shows where that sits.
+type LineSizeSweep struct {
+	SizeWords int
+	LineWords []int
+	Ratio     []float64
+	MissRatio []float64
+	Benchmark string
+	PEs       int
+}
+
+// RunLineSizeSweep replays one benchmark trace across line sizes.
+func RunLineSizeSweep(benchName string, pes, sizeWords int, lines []int) (*LineSizeSweep, error) {
+	b, ok := bench.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	buf, err := traceBenchmark(b, pes, pes == 1)
+	if err != nil {
+		return nil, err
+	}
+	out := &LineSizeSweep{SizeWords: sizeWords, Benchmark: benchName, PEs: pes}
+	for _, lw := range lines {
+		sim := cache.New(cache.Config{
+			PEs: pes, SizeWords: sizeWords, LineWords: lw,
+			Protocol:      cache.WriteInBroadcast,
+			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, sizeWords),
+		})
+		buf.Replay(sim)
+		out.LineWords = append(out.LineWords, lw)
+		out.Ratio = append(out.Ratio, sim.Stats().TrafficRatio())
+		out.MissRatio = append(out.MissRatio, sim.Stats().MissRatio())
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (l *LineSizeSweep) String() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: line size (%s, %d PEs, %d-word caches, write-in broadcast)",
+			l.Benchmark, l.PEs, l.SizeWords),
+		"line (words)", "traffic ratio", "miss ratio")
+	for i := range l.LineWords {
+		t.AddRow(l.LineWords[i], l.Ratio[i], l.MissRatio[i])
+	}
+	return t.String()
+}
+
+// LockShare reports the fraction of references spent on locked objects
+// (goal stack, parcall counters, messages) — the synchronization cost
+// Table 1's lock column identifies.
+type LockShare struct {
+	Benchmark string
+	PEs       int
+	Locked    int64
+	Total     int64
+}
+
+// RunLockShare measures one benchmark.
+func RunLockShare(benchName string, pes int) (*LockShare, error) {
+	b, ok := bench.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	res, err := bench.Run(b, bench.RunConfig{PEs: pes})
+	if err != nil {
+		return nil, err
+	}
+	out := &LockShare{Benchmark: benchName, PEs: pes}
+	for obj, ops := range res.Refs.ByObj {
+		n := ops[0] + ops[1]
+		out.Total += n
+		if trace.ObjType(obj).Locked() {
+			out.Locked += n
+		}
+	}
+	return out, nil
+}
+
+// Share returns the locked fraction.
+func (l *LockShare) Share() float64 {
+	if l.Total == 0 {
+		return 0
+	}
+	return float64(l.Locked) / float64(l.Total)
+}
+
+// String renders the measurement.
+func (l *LockShare) String() string {
+	return fmt.Sprintf("Lock traffic share (%s, %d PEs): %.2f%% (%d of %d references)\n",
+		l.Benchmark, l.PEs, 100*l.Share(), l.Locked, l.Total)
+}
+
+// BusDES runs the discrete-event bus simulation on real transaction
+// streams from the cache simulator (the paper defers this to Tick's
+// queueing model; the analytic M/M/1 is cross-checked here against an
+// actual event-by-event replay).
+type BusDES struct {
+	Benchmark        string
+	PEs              int
+	BusWordsPerCycle float64
+	DES              busmodel.Result
+	Analytic         busmodel.Result
+}
+
+// RunBusDES replays one benchmark's bus transactions through the DES
+// bus and the analytic model.
+func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) (*BusDES, error) {
+	b, ok := bench.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	buf, err := traceBenchmark(b, pes, pes == 1)
+	if err != nil {
+		return nil, err
+	}
+	var events []busmodel.Event
+	sim := cache.New(cache.Config{
+		PEs: pes, SizeWords: cacheWords, LineWords: 4,
+		Protocol:      cache.WriteInBroadcast,
+		WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, cacheWords),
+	})
+	sim.OnBus = func(pe, words int, refIndex int64) {
+		// The reference index divided by the PE count approximates the
+		// per-PE clock of the interleaved machine.
+		events = append(events, busmodel.Event{
+			PE: pe, Time: float64(refIndex) / float64(pes), Words: words,
+		})
+	}
+	buf.Replay(sim)
+
+	des, _, err := busmodel.Simulate(events, pes, busWordsPerCycle)
+	if err != nil {
+		return nil, err
+	}
+	ana, err := busmodel.Analytic(busmodel.Params{
+		PEs: pes, RefsPerCycle: 1,
+		TrafficRatio:     sim.Stats().TrafficRatio(),
+		BusWordsPerCycle: busWordsPerCycle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BusDES{
+		Benchmark: benchName, PEs: pes, BusWordsPerCycle: busWordsPerCycle,
+		DES: des, Analytic: ana,
+	}, nil
+}
+
+// String renders the comparison.
+func (b *BusDES) String() string {
+	return fmt.Sprintf(
+		"Bus DES vs analytic (%s, %d PEs, %.1f words/cycle):\n"+
+			"  DES:      utilization %.3f, mean wait %.2f cycles, efficiency %.3f\n"+
+			"  analytic: utilization %.3f, mean wait %.2f cycles, efficiency %.3f\n",
+		b.Benchmark, b.PEs, b.BusWordsPerCycle,
+		b.DES.Utilization, b.DES.MeanWaitCycles, b.DES.Efficiency,
+		b.Analytic.Utilization, b.Analytic.MeanWaitCycles, b.Analytic.Efficiency)
+}
+
+// AssocSweep compares the paper's fully associative cache model with
+// hardware-realizable set-associative caches of the same capacity.
+type AssocSweep struct {
+	Benchmark string
+	PEs       int
+	SizeWords int
+	Ways      []int // 0 = fully associative
+	Ratio     []float64
+}
+
+// RunAssocSweep replays one benchmark trace across associativities.
+func RunAssocSweep(benchName string, pes, sizeWords int, ways []int) (*AssocSweep, error) {
+	b, ok := bench.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	buf, err := traceBenchmark(b, pes, pes == 1)
+	if err != nil {
+		return nil, err
+	}
+	out := &AssocSweep{Benchmark: benchName, PEs: pes, SizeWords: sizeWords}
+	for _, w := range ways {
+		sim := cache.New(cache.Config{
+			PEs: pes, SizeWords: sizeWords, LineWords: 4,
+			Protocol:      cache.WriteInBroadcast,
+			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, sizeWords),
+			Assoc:         w,
+		})
+		buf.Replay(sim)
+		out.Ways = append(out.Ways, w)
+		out.Ratio = append(out.Ratio, sim.Stats().TrafficRatio())
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (a *AssocSweep) String() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: associativity (%s, %d PEs, %d-word caches)",
+			a.Benchmark, a.PEs, a.SizeWords),
+		"ways", "traffic ratio")
+	for i, w := range a.Ways {
+		label := fmt.Sprintf("%d", w)
+		if w == 0 {
+			label = "full (paper)"
+		}
+		t.AddRow(label, a.Ratio[i])
+	}
+	return t.String()
+}

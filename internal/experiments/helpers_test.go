@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchByName(t *testing.T, name string) (bench.Benchmark, bool) {
+	t.Helper()
+	b, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %q missing", name)
+	}
+	return b, ok
+}

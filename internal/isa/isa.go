@@ -1,0 +1,470 @@
+// Package isa defines the RAP-WAM instruction set: the classic WAM
+// instructions (get/put/unify, control, choice, indexing, cut) plus the
+// AND-parallel extensions that implement Conditional Graph Expressions
+// (pframe / push_goal / pcall_local and the independence checks).
+// The compiler (internal/compile) produces Code values and the engine
+// (internal/core) executes them.
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+const (
+	// OpNop does nothing (never emitted; catches zero-value bugs).
+	OpNop Opcode = iota
+
+	// --- get instructions (head argument matching) ---
+
+	// OpGetVariableX: Xn := Ai. R1=n, R2=i.
+	OpGetVariableX
+	// OpGetVariableY: Yn := Ai. R1=n, R2=i.
+	OpGetVariableY
+	// OpGetValueX: unify Xn with Ai. R1=n, R2=i.
+	OpGetValueX
+	// OpGetValueY: unify Yn with Ai. R1=n, R2=i.
+	OpGetValueY
+	// OpGetConstant: unify constant W with Ai. R2=i.
+	OpGetConstant
+	// OpGetNil: unify [] with Ai. R2=i.
+	OpGetNil
+	// OpGetStructure: unify structure F (functor index N) with Ai;
+	// sets read/write mode. R2=i.
+	OpGetStructure
+	// OpGetList: unify a list cell with Ai; sets read/write mode. R2=i.
+	OpGetList
+
+	// --- put instructions (goal argument loading) ---
+
+	// OpPutVariableX: new unbound heap cell; Xn := Ai := ref. R1=n, R2=i.
+	OpPutVariableX
+	// OpPutVariableY: initialize Yn unbound; Ai := ref to Yn. R1=n, R2=i.
+	OpPutVariableY
+	// OpPutValueX: Ai := Xn. R1=n, R2=i.
+	OpPutValueX
+	// OpPutValueY: Ai := Yn (dereferenced one level from the slot). R1=n, R2=i.
+	OpPutValueY
+	// OpPutUnsafeValue: Ai := deref(Yn), globalizing an unbound
+	// environment-resident variable onto the heap. R1=n, R2=i.
+	OpPutUnsafeValue
+	// OpPutConstant: Ai := constant W. R2=i.
+	OpPutConstant
+	// OpPutNil: Ai := []. R2=i.
+	OpPutNil
+	// OpPutStructure: push functor cell (functor index N); Ai := str. R2=i.
+	OpPutStructure
+	// OpPutList: Ai := lis pointing at heap top. R2=i.
+	OpPutList
+
+	// --- unify instructions (structure arguments) ---
+
+	// OpUnifyVariableX: read: Xn := next cell; write: push fresh cell
+	// into Xn. R1=n.
+	OpUnifyVariableX
+	// OpUnifyVariableY: as above into Yn. R1=n.
+	OpUnifyVariableY
+	// OpUnifyValueX: read: unify; write: push Xn's value. R1=n.
+	OpUnifyValueX
+	// OpUnifyValueY: as above for Yn. R1=n.
+	OpUnifyValueY
+	// OpUnifyLocalValueX: like unify_value but globalizes a
+	// stack-resident unbound variable before pushing. R1=n.
+	OpUnifyLocalValueX
+	// OpUnifyLocalValueY: as above for Yn. R1=n.
+	OpUnifyLocalValueY
+	// OpUnifyConstant: read: unify next cell with W; write: push W.
+	OpUnifyConstant
+	// OpUnifyNil: as OpUnifyConstant for [].
+	OpUnifyNil
+	// OpUnifyVoid: skip/push N fresh cells. N=count.
+	OpUnifyVoid
+
+	// --- control ---
+
+	// OpAllocate: push environment with N permanent variables.
+	OpAllocate
+	// OpDeallocate: pop current environment.
+	OpDeallocate
+	// OpCall: call procedure at label N; R1 = arity (for debugging).
+	OpCall
+	// OpExecute: tail-call procedure at label N.
+	OpExecute
+	// OpProceed: return to continuation.
+	OpProceed
+
+	// --- choice and indexing ---
+
+	// OpTryMeElse: push choice point; alternative at label N. R1=arity.
+	OpTryMeElse
+	// OpRetryMeElse: update alternative to label N.
+	OpRetryMeElse
+	// OpTrustMe: pop choice point (last alternative).
+	OpTrustMe
+	// OpTry: push choice point with alternative = next instruction;
+	// jump to label N. R1=arity.
+	OpTry
+	// OpRetry: update alternative to next instruction; jump to N.
+	OpRetry
+	// OpTrust: pop choice point; jump to N.
+	OpTrust
+	// OpSwitchOnTerm: dispatch on dereferenced A1's tag. Uses the
+	// switch table at index N: {var, con, lis, str} entry labels.
+	OpSwitchOnTerm
+	// OpSwitchOnConstant: dispatch on A1's constant value via hash
+	// table at index N; fail on miss.
+	OpSwitchOnConstant
+	// OpSwitchOnStructure: dispatch on A1's functor via hash table at
+	// index N; fail on miss.
+	OpSwitchOnStructure
+
+	// --- cut ---
+
+	// OpNeckCut: B := B0 (cut as first body goal).
+	OpNeckCut
+	// OpGetLevel: Yn := B0. R1=n.
+	OpGetLevel
+	// OpCutY: B := saved level in Yn. R1=n.
+	OpCutY
+
+	// --- arithmetic (register-based, compiled from is/2 and
+	//     comparisons; no heap allocation for expressions) ---
+
+	// OpArith: X[R1] := X[R2] op X[R3] (or unary op on X[R2]).
+	// N = ArithOp.
+	OpArith
+	// OpCompare: compare X[R1] and X[R2] under N = CompareOp; fail if
+	// false.
+	OpCompare
+
+	// --- builtins and termination ---
+
+	// OpBuiltin: invoke builtin N with R1 = arity, args in A1..Ar.
+	OpBuiltin
+	// OpFail: force backtracking.
+	OpFail
+	// OpStop: successful end of query (captures answer environment).
+	OpStop
+	// OpJump: unconditional jump to label N.
+	OpJump
+
+	// --- AND-parallel extensions ---
+
+	// OpCheckGround: if X[R1] is not ground, jump to label N (the
+	// sequential version of the CGE).
+	OpCheckGround
+	// OpCheckIndep: if X[R1] and X[R2] share an unbound variable, jump
+	// to label N.
+	OpCheckIndep
+	// OpPFrame: allocate a parcall frame for R1 goals; continuation at
+	// label N (code executed after all parallel goals succeed).
+	OpPFrame
+	// OpPushGoal: push a goal frame for procedure at label N with
+	// R1 = arity (args A1..Ar) and R2 = goal slot index (1-based).
+	OpPushGoal
+	// OpPCallLocal: execute the first parallel goal (slot R2) locally:
+	// push an input-goal marker, set the par-return continuation and
+	// jump to label N. R1 = arity.
+	OpPCallLocal
+
+	numOpcodes = int(OpPCallLocal) + 1
+)
+
+var opNames = [...]string{
+	OpNop:          "nop",
+	OpGetVariableX: "get_variable_x", OpGetVariableY: "get_variable_y",
+	OpGetValueX: "get_value_x", OpGetValueY: "get_value_y",
+	OpGetConstant: "get_constant", OpGetNil: "get_nil",
+	OpGetStructure: "get_structure", OpGetList: "get_list",
+	OpPutVariableX: "put_variable_x", OpPutVariableY: "put_variable_y",
+	OpPutValueX: "put_value_x", OpPutValueY: "put_value_y",
+	OpPutUnsafeValue: "put_unsafe_value",
+	OpPutConstant:    "put_constant", OpPutNil: "put_nil",
+	OpPutStructure: "put_structure", OpPutList: "put_list",
+	OpUnifyVariableX: "unify_variable_x", OpUnifyVariableY: "unify_variable_y",
+	OpUnifyValueX: "unify_value_x", OpUnifyValueY: "unify_value_y",
+	OpUnifyLocalValueX: "unify_local_value_x", OpUnifyLocalValueY: "unify_local_value_y",
+	OpUnifyConstant: "unify_constant", OpUnifyNil: "unify_nil", OpUnifyVoid: "unify_void",
+	OpAllocate: "allocate", OpDeallocate: "deallocate",
+	OpCall: "call", OpExecute: "execute", OpProceed: "proceed",
+	OpTryMeElse: "try_me_else", OpRetryMeElse: "retry_me_else", OpTrustMe: "trust_me",
+	OpTry: "try", OpRetry: "retry", OpTrust: "trust",
+	OpSwitchOnTerm: "switch_on_term", OpSwitchOnConstant: "switch_on_constant",
+	OpSwitchOnStructure: "switch_on_structure",
+	OpNeckCut:           "neck_cut", OpGetLevel: "get_level", OpCutY: "cut",
+	OpArith: "arith", OpCompare: "compare",
+	OpBuiltin: "builtin", OpFail: "fail", OpStop: "stop", OpJump: "jump",
+	OpCheckGround: "check_ground", OpCheckIndep: "check_indep",
+	OpPFrame: "pframe", OpPushGoal: "push_goal", OpPCallLocal: "pcall_local",
+}
+
+// String returns the assembler mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ArithOp enumerates arithmetic operations for OpArith.
+type ArithOp int32
+
+const (
+	// ArithAdd is addition.
+	ArithAdd ArithOp = iota
+	// ArithSub is subtraction.
+	ArithSub
+	// ArithMul is multiplication.
+	ArithMul
+	// ArithIDiv is integer division (//).
+	ArithIDiv
+	// ArithDiv is division (/, integer in this implementation).
+	ArithDiv
+	// ArithMod is modulo.
+	ArithMod
+	// ArithRem is remainder.
+	ArithRem
+	// ArithNeg is unary negation.
+	ArithNeg
+	// ArithDeref evaluates a register to an integer (deref + type
+	// check), used to load variables in expressions.
+	ArithDeref
+)
+
+var arithNames = [...]string{"add", "sub", "mul", "idiv", "div", "mod", "rem", "neg", "deref"}
+
+// String returns the operation name.
+func (a ArithOp) String() string {
+	if int(a) < len(arithNames) {
+		return arithNames[a]
+	}
+	return fmt.Sprintf("arith(%d)", int32(a))
+}
+
+// CompareOp enumerates arithmetic comparison operations for OpCompare.
+type CompareOp int32
+
+const (
+	// CmpLT is <.
+	CmpLT CompareOp = iota
+	// CmpGT is >.
+	CmpGT
+	// CmpLE is =<.
+	CmpLE
+	// CmpGE is >=.
+	CmpGE
+	// CmpEQ is =:=.
+	CmpEQ
+	// CmpNE is =\=.
+	CmpNE
+)
+
+var cmpNames = [...]string{"<", ">", "=<", ">=", "=:=", "=\\="}
+
+// String returns the Prolog operator.
+func (c CompareOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp(%d)", int32(c))
+}
+
+// Builtin enumerates builtin predicates invoked via OpBuiltin.
+type Builtin int32
+
+const (
+	// BiUnify is =/2 (general unification).
+	BiUnify Builtin = iota
+	// BiStructEq is ==/2 (structural equality without binding).
+	BiStructEq
+	// BiStructNe is \==/2.
+	BiStructNe
+	// BiVar is var/1.
+	BiVar
+	// BiNonvar is nonvar/1.
+	BiNonvar
+	// BiAtom is atom/1.
+	BiAtom
+	// BiInteger is integer/1 (also serves number/1: integers only).
+	BiInteger
+	// BiAtomic is atomic/1.
+	BiAtomic
+	// BiGround is ground/1 (as a body goal).
+	BiGround
+	// BiIndep is indep/2 (as a body goal).
+	BiIndep
+	// BiTrue is true/0.
+	BiTrue
+	// BiFail is fail/0.
+	BiFail
+	// BiWrite is write/1 (appends to the worker's output buffer).
+	BiWrite
+	// BiNl is nl/0.
+	BiNl
+	// BiIs is is/2 for expressions too complex to inline (evaluates a
+	// heap term recursively).
+	BiIs
+	// BiFunctor is functor/3 (both decomposition and construction).
+	BiFunctor
+	// BiArg is arg/3.
+	BiArg
+	// BiUniv is =../2 ("univ": term to/from [Name|Args] list).
+	BiUniv
+	// BiCall is call/1 (meta-call; transfers control to the called
+	// procedure with CP set past the builtin).
+	BiCall
+	// BiLength is length/2 (list length, both directions).
+	BiLength
+
+	numBuiltins = int(BiLength) + 1
+)
+
+var builtinNames = [...]string{
+	"=", "==", "\\==", "var", "nonvar", "atom", "integer", "atomic",
+	"ground", "indep", "true", "fail", "write", "nl", "is",
+	"functor", "arg", "=..", "call", "length",
+}
+
+// String returns the predicate name.
+func (b Builtin) String() string {
+	if int(b) < len(builtinNames) {
+		return builtinNames[b]
+	}
+	return fmt.Sprintf("builtin(%d)", int32(b))
+}
+
+// Instr is one instruction. Operand meaning depends on Op (see the
+// opcode docs); unused operands are zero.
+type Instr struct {
+	Op         Opcode
+	R1, R2, R3 int16
+	N          int32
+	W          mem.Word
+}
+
+// String renders the instruction for listings.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpCall, OpExecute, OpTry, OpRetry, OpTrust, OpTryMeElse,
+		OpRetryMeElse, OpJump, OpPushGoal, OpPCallLocal:
+		return fmt.Sprintf("%s %d/%d @%d", i.Op, i.R1, i.R2, i.N)
+	case OpArith:
+		return fmt.Sprintf("arith x%d := x%d %s x%d", i.R1, i.R2, ArithOp(i.N), i.R3)
+	case OpCompare:
+		return fmt.Sprintf("compare x%d %s x%d", i.R1, CompareOp(i.N), i.R2)
+	case OpBuiltin:
+		return fmt.Sprintf("builtin %s/%d", Builtin(i.N), i.R1)
+	default:
+		return fmt.Sprintf("%s r1=%d r2=%d n=%d", i.Op, i.R1, i.R2, i.N)
+	}
+}
+
+// NumRegs is the size of the X/A register file per worker.
+const NumRegs = 64
+
+// Functor identifies a name/arity pair.
+type Functor struct {
+	Name  string
+	Arity int
+}
+
+// String renders name/arity.
+func (f Functor) String() string { return fmt.Sprintf("%s/%d", f.Name, f.Arity) }
+
+// SymTab interns atoms and functors; constant words refer into it.
+type SymTab struct {
+	Atoms      []string
+	atomIdx    map[string]int
+	Functors   []Functor
+	functorIdx map[Functor]int
+}
+
+// NewSymTab returns an empty symbol table with "[]" preinterned at 0.
+func NewSymTab() *SymTab {
+	st := &SymTab{atomIdx: map[string]int{}, functorIdx: map[Functor]int{}}
+	st.Atom("[]") // index 0: nil
+	return st
+}
+
+// NilAtom is the atom index of "[]".
+const NilAtom = 0
+
+// Atom interns name and returns its index.
+func (st *SymTab) Atom(name string) int {
+	if i, ok := st.atomIdx[name]; ok {
+		return i
+	}
+	i := len(st.Atoms)
+	st.Atoms = append(st.Atoms, name)
+	st.atomIdx[name] = i
+	return i
+}
+
+// AtomName returns the atom at index i.
+func (st *SymTab) AtomName(i int) string {
+	if i < 0 || i >= len(st.Atoms) {
+		return fmt.Sprintf("atom(%d)", i)
+	}
+	return st.Atoms[i]
+}
+
+// Fun interns a functor and returns its index.
+func (st *SymTab) Fun(name string, arity int) int {
+	f := Functor{name, arity}
+	if i, ok := st.functorIdx[f]; ok {
+		return i
+	}
+	i := len(st.Functors)
+	st.Functors = append(st.Functors, f)
+	st.functorIdx[f] = i
+	return i
+}
+
+// FunctorAt returns the functor at index i.
+func (st *SymTab) FunctorAt(i int) Functor {
+	if i < 0 || i >= len(st.Functors) {
+		return Functor{fmt.Sprintf("functor(%d)", i), 0}
+	}
+	return st.Functors[i]
+}
+
+// SwitchTable is the dispatch table of a switch instruction.
+type SwitchTable struct {
+	// For OpSwitchOnTerm: entry labels per tag class (-1 = fail).
+	Var, Con, Lis, Str int32
+	// For OpSwitchOnConstant / OpSwitchOnStructure: value (constant
+	// word or functor index) to label.
+	Cases map[mem.Word]int32
+	// Default label for constant/structure switches (clauses whose
+	// first argument is a variable make this non-fail); -1 = fail.
+	Default int32
+}
+
+// Code is a compiled program: a flat instruction array plus tables.
+type Code struct {
+	Instrs   []Instr
+	Switches []SwitchTable
+	Syms     *SymTab
+	// Procs maps functor index to entry label.
+	Procs map[int]int32
+	// QueryEntry is the label of the compiled query ($query/0).
+	QueryEntry int32
+	// QueryVars are the query's variable names in environment-slot
+	// order (Y0..Yn-1), used to extract answers.
+	QueryVars []string
+	// Parallel reports whether any CGE instructions were emitted.
+	Parallel bool
+}
+
+// Listing renders the full code array, for debugging and golden tests.
+func (c *Code) Listing() string {
+	out := ""
+	for i, ins := range c.Instrs {
+		out += fmt.Sprintf("%5d  %s\n", i, ins)
+	}
+	return out
+}

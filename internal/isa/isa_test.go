@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeNamesComplete(t *testing.T) {
+	for op := OpNop; int(op) < numOpcodes; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestSymTabInterning(t *testing.T) {
+	st := NewSymTab()
+	if st.Atom("[]") != NilAtom {
+		t.Error("[] must intern at NilAtom")
+	}
+	a := st.Atom("foo")
+	if st.Atom("foo") != a {
+		t.Error("atom not interned")
+	}
+	if st.AtomName(a) != "foo" {
+		t.Errorf("AtomName = %q", st.AtomName(a))
+	}
+	f := st.Fun("f", 2)
+	if st.Fun("f", 2) != f {
+		t.Error("functor not interned")
+	}
+	if st.Fun("f", 3) == f {
+		t.Error("arity must distinguish functors")
+	}
+	got := st.FunctorAt(f)
+	if got.Name != "f" || got.Arity != 2 {
+		t.Errorf("FunctorAt = %v", got)
+	}
+	if got.String() != "f/2" {
+		t.Errorf("String = %q", got.String())
+	}
+}
+
+func TestSymTabOutOfRange(t *testing.T) {
+	st := NewSymTab()
+	if st.AtomName(99) == "" {
+		t.Error("out-of-range atom name empty")
+	}
+	if st.FunctorAt(99).Name == "" {
+		t.Error("out-of-range functor name empty")
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []Instr{
+		{Op: OpCall, R1: 2, N: 10},
+		{Op: OpArith, R1: 5, R2: 6, R3: 7, N: int32(ArithAdd)},
+		{Op: OpCompare, R1: 1, R2: 2, N: int32(CmpLE)},
+		{Op: OpBuiltin, R1: 2, N: int32(BiUnify)},
+		{Op: OpGetConstant, R2: 1},
+	}
+	for _, ins := range cases {
+		if ins.String() == "" {
+			t.Errorf("empty rendering for %v", ins.Op)
+		}
+	}
+}
+
+func TestBuiltinAndOpNames(t *testing.T) {
+	if BiUnify.String() != "=" || BiIs.String() != "is" {
+		t.Error("builtin names wrong")
+	}
+	if ArithAdd.String() != "add" || ArithDeref.String() != "deref" {
+		t.Error("arith names wrong")
+	}
+	if CmpLE.String() != "=<" || CmpNE.String() != "=\\=" {
+		t.Error("compare names wrong")
+	}
+}
+
+func TestCodeListing(t *testing.T) {
+	c := &Code{Instrs: []Instr{{Op: OpProceed}, {Op: OpFail}}}
+	l := c.Listing()
+	if !strings.Contains(l, "proceed") || !strings.Contains(l, "fail") {
+		t.Errorf("listing:\n%s", l)
+	}
+}

@@ -1,0 +1,196 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Layout describes the per-worker Stack Set sizes in words. All regions
+// of worker i are laid out consecutively starting at i*SpanWords():
+// Heap, Local, Control, Trail, PDL, Goal, Msg. Region sizes are rounded
+// up to Align words so that no cache line ever spans two regions.
+type Layout struct {
+	Workers int // number of workers (PEs)
+	Heap    int // heap words per worker
+	Local   int // local stack (environments, parcall frames)
+	Control int // control stack (choice points, markers)
+	Trail   int // trail entries
+	PDL     int // unification push-down list
+	Goal    int // goal stack
+	Msg     int // message buffer
+}
+
+// Align is the region alignment in words; it is a multiple of every cache
+// line size the simulators use, so lines never straddle areas with
+// different locality classes across workers.
+const Align = 64
+
+func alignUp(n int) int { return (n + Align - 1) &^ (Align - 1) }
+
+// DefaultLayout returns a layout comfortably sized for the paper's
+// benchmarks: roughly half a megaword per worker.
+func DefaultLayout(workers int) Layout {
+	return Layout{
+		Workers: workers,
+		Heap:    1 << 19, // 512K words
+		Local:   1 << 17,
+		Control: 1 << 17,
+		Trail:   1 << 16,
+		PDL:     1 << 12,
+		Goal:    1 << 12,
+		Msg:     1 << 8,
+	}
+}
+
+// normalized returns a copy with every region size aligned.
+func (l Layout) normalized() Layout {
+	l.Heap = alignUp(l.Heap)
+	l.Local = alignUp(l.Local)
+	l.Control = alignUp(l.Control)
+	l.Trail = alignUp(l.Trail)
+	l.PDL = alignUp(l.PDL)
+	l.Goal = alignUp(l.Goal)
+	l.Msg = alignUp(l.Msg)
+	return l
+}
+
+// SpanWords returns the number of words occupied by one worker's regions.
+func (l Layout) SpanWords() int {
+	n := l.normalized()
+	return n.Heap + n.Local + n.Control + n.Trail + n.PDL + n.Goal + n.Msg
+}
+
+// TotalWords returns the size of the whole shared address space.
+func (l Layout) TotalWords() int { return l.SpanWords() * l.Workers }
+
+// Region describes one storage area instance of one worker.
+type Region struct {
+	PE    int
+	Area  trace.Area
+	Base  int // first word address
+	Limit int // one past the last word address
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr int) bool { return addr >= r.Base && addr < r.Limit }
+
+// Size returns the region size in words.
+func (r Region) Size() int { return r.Limit - r.Base }
+
+// Memory is the instrumented flat shared address space. All engine
+// accesses go through Read/Write (traced) or Peek/Poke (untraced
+// host-side inspection, used only for extracting final answers and
+// debugging — never on the measured path).
+type Memory struct {
+	words  []Word
+	layout Layout
+	// region offsets within a worker span, indexed by area
+	areaOff  [trace.NumAreas]int
+	areaSize [trace.NumAreas]int
+	span     int
+	sink     trace.Sink
+	counter  *trace.Counter
+}
+
+// NewMemory allocates the address space for the given layout. The counter
+// is always attached (cheap array increments); sink may be trace.Discard.
+func NewMemory(l Layout, sink trace.Sink) *Memory {
+	if l.Workers <= 0 {
+		panic("mem: layout needs at least one worker")
+	}
+	n := l.normalized()
+	m := &Memory{
+		words:   make([]Word, n.TotalWords()),
+		layout:  n,
+		span:    n.SpanWords(),
+		sink:    sink,
+		counter: &trace.Counter{},
+	}
+	if m.sink == nil {
+		m.sink = trace.Discard
+	}
+	off := 0
+	for _, ar := range []struct {
+		area trace.Area
+		size int
+	}{
+		{trace.AreaHeap, n.Heap},
+		{trace.AreaLocal, n.Local},
+		{trace.AreaControl, n.Control},
+		{trace.AreaTrail, n.Trail},
+		{trace.AreaPDL, n.PDL},
+		{trace.AreaGoal, n.Goal},
+		{trace.AreaMsg, n.Msg},
+	} {
+		m.areaOff[ar.area] = off
+		m.areaSize[ar.area] = ar.size
+		off += ar.size
+	}
+	return m
+}
+
+// Layout returns the (normalized) layout in use.
+func (m *Memory) Layout() Layout { return m.layout }
+
+// Counter returns the always-on reference counter.
+func (m *Memory) Counter() *trace.Counter { return m.counter }
+
+// SetSink replaces the trace sink (e.g. to start/stop full tracing).
+func (m *Memory) SetSink(s trace.Sink) {
+	if s == nil {
+		s = trace.Discard
+	}
+	m.sink = s
+}
+
+// Region returns the region of the given worker and area.
+func (m *Memory) Region(pe int, area trace.Area) Region {
+	if pe < 0 || pe >= m.layout.Workers {
+		panic(fmt.Sprintf("mem: pe %d out of range", pe))
+	}
+	base := pe*m.span + m.areaOff[area]
+	return Region{PE: pe, Area: area, Base: base, Limit: base + m.areaSize[area]}
+}
+
+// Classify maps an address to its owning worker and area.
+func (m *Memory) Classify(addr int) (pe int, area trace.Area) {
+	if addr < 0 || addr >= len(m.words) {
+		return -1, trace.AreaNone
+	}
+	pe = addr / m.span
+	off := addr % m.span
+	for a := trace.AreaHeap; a <= trace.AreaMsg; a++ {
+		if off < m.areaOff[a]+m.areaSize[a] {
+			return pe, a
+		}
+	}
+	return pe, trace.AreaNone
+}
+
+// Read returns the word at addr, emitting a read reference attributed to
+// the accessing PE with the given object classification.
+func (m *Memory) Read(pe int, addr int, obj trace.ObjType) Word {
+	r := trace.Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpRead, Obj: obj}
+	m.counter.Add(r)
+	m.sink.Add(r)
+	return m.words[addr]
+}
+
+// Write stores w at addr, emitting a write reference.
+func (m *Memory) Write(pe int, addr int, w Word, obj trace.ObjType) {
+	r := trace.Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpWrite, Obj: obj}
+	m.counter.Add(r)
+	m.sink.Add(r)
+	m.words[addr] = w
+}
+
+// Peek reads addr without instrumentation. Host-side use only (answer
+// extraction, tests, debuggers).
+func (m *Memory) Peek(addr int) Word { return m.words[addr] }
+
+// Poke writes addr without instrumentation. Host-side use only.
+func (m *Memory) Poke(addr int, w Word) { m.words[addr] = w }
+
+// Size returns the total address-space size in words.
+func (m *Memory) Size() int { return len(m.words) }

@@ -1,0 +1,219 @@
+package parse
+
+import "fmt"
+
+// token kinds
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokPunct   // ( ) [ ] , |
+	tokFunctor // atom immediately followed by '(' — e.g. "f("
+	tokEnd     // clause-terminating '.'
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokInt:
+		return fmt.Sprintf("%d", t.ival)
+	case tokEnd:
+		return "."
+	default:
+		return t.text
+	}
+}
+
+func isLower(c byte) bool { return c >= 'a' && c <= 'z' }
+func isUpper(c byte) bool { return c >= 'A' && c <= 'Z' || c == '_' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isLower(c) || isUpper(c) || isDigit(c) }
+
+const symbolChars = "+-*/\\^<>=~:.?@#$&"
+
+func isSymbol(c byte) bool {
+	for i := 0; i < len(symbolChars); i++ {
+		if symbolChars[i] == c {
+			return true
+		}
+	}
+	return false
+}
+
+func isAllSymbolic(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isSymbol(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// skipWS consumes whitespace and comments.
+func (l *lexer) skipWS() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipWS(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		var v int64
+		for _, d := range l.src[start:l.pos] {
+			v = v*10 + int64(d-'0')
+		}
+		return token{kind: tokInt, ival: v, line: l.line}, nil
+
+	case isLower(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if l.pos < len(l.src) && l.src[l.pos] == '(' {
+			l.pos++
+			return token{kind: tokFunctor, text: text, line: l.line}, nil
+		}
+		return token{kind: tokAtom, text: text, line: l.line}, nil
+
+	case isUpper(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokVar, text: l.src[start:l.pos], line: l.line}, nil
+
+	case c == '\'':
+		l.pos++
+		var buf []byte
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated quoted atom")
+			}
+			ch := l.src[l.pos]
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos += 2
+				switch l.src[l.pos-1] {
+				case 'n':
+					buf = append(buf, '\n')
+				case 't':
+					buf = append(buf, '\t')
+				case '\\':
+					buf = append(buf, '\\')
+				case '\'':
+					buf = append(buf, '\'')
+				default:
+					buf = append(buf, l.src[l.pos-1])
+				}
+				continue
+			}
+			if ch == '\'' {
+				l.pos++
+				break
+			}
+			if ch == '\n' {
+				l.line++
+			}
+			buf = append(buf, ch)
+			l.pos++
+		}
+		text := string(buf)
+		if l.pos < len(l.src) && l.src[l.pos] == '(' {
+			l.pos++
+			return token{kind: tokFunctor, text: text, line: l.line}, nil
+		}
+		return token{kind: tokAtom, text: text, line: l.line}, nil
+
+	case c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '|' || c == '{' || c == '}':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+
+	case c == '!' || c == ';':
+		l.pos++
+		return token{kind: tokAtom, text: string(c), line: l.line}, nil
+
+	case isSymbol(c):
+		for l.pos < len(l.src) && isSymbol(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		// A solo '.' followed by layout or EOF terminates the clause.
+		if text == "." {
+			return token{kind: tokEnd, line: l.line}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '(' && text != "," {
+			l.pos++
+			return token{kind: tokFunctor, text: text, line: l.line}, nil
+		}
+		return token{kind: tokAtom, text: text, line: l.line}, nil
+
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}

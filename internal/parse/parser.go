@@ -1,0 +1,416 @@
+package parse
+
+import (
+	"fmt"
+)
+
+// opDef describes an operator.
+type opDef struct {
+	priority int
+	typ      string // xfx, xfy, yfx, fy, fx
+}
+
+// Standard-Prolog operator subset plus the &-Prolog parallel operators.
+var (
+	infixTable = map[string]opDef{
+		":-":   {1200, "xfx"},
+		"-->":  {1200, "xfx"},
+		";":    {1100, "xfy"},
+		"|":    {1100, "xfy"}, // CGE: conditions | parallel goals
+		"->":   {1050, "xfy"},
+		",":    {1000, "xfy"},
+		"&":    {950, "xfy"}, // AND-parallel conjunction
+		"=":    {700, "xfx"},
+		"\\=":  {700, "xfx"},
+		"==":   {700, "xfx"},
+		"\\==": {700, "xfx"},
+		"@<":   {700, "xfx"},
+		"@>":   {700, "xfx"},
+		"@=<":  {700, "xfx"},
+		"@>=":  {700, "xfx"},
+		"is":   {700, "xfx"},
+		"=..":  {700, "xfx"},
+		"=:=":  {700, "xfx"},
+		"=\\=": {700, "xfx"},
+		"<":    {700, "xfx"},
+		">":    {700, "xfx"},
+		"=<":   {700, "xfx"},
+		">=":   {700, "xfx"},
+		"+":    {500, "yfx"},
+		"-":    {500, "yfx"},
+		"*":    {400, "yfx"},
+		"/":    {400, "yfx"},
+		"//":   {400, "yfx"},
+		"mod":  {400, "yfx"},
+		"rem":  {400, "yfx"},
+		"^":    {200, "xfy"},
+	}
+	prefixTable = map[string]opDef{
+		":-":  {1200, "fx"},
+		"?-":  {1200, "fx"},
+		"\\+": {900, "fy"},
+		"-":   {200, "fy"},
+		"+":   {200, "fy"},
+	}
+)
+
+// parser consumes tokens from a lexer with one token of lookahead.
+type parser struct {
+	lx   *lexer
+	tok  token
+	vars map[string]*Var // per-clause variable interning
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+// intern returns the clause-scoped variable for name ("_" is always fresh).
+func (p *parser) intern(name string) *Var {
+	if name == "_" {
+		return &Var{Name: "_"}
+	}
+	if v, ok := p.vars[name]; ok {
+		return v
+	}
+	v := &Var{Name: name}
+	p.vars[name] = v
+	return v
+}
+
+// readClause parses one clause terminated by '.', or returns (nil, nil)
+// at end of input.
+func (p *parser) readClause() (Term, error) {
+	if p.tok.kind == tokEOF {
+		return nil, nil
+	}
+	p.vars = map[string]*Var{}
+	t, err := p.parse(1200)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEnd {
+		return nil, p.errf("expected '.' after clause, got %v", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parse reads a term with priority at most maxPrec (precedence climbing).
+func (p *parser) parse(maxPrec int) (Term, error) {
+	left, leftPrec, err := p.parsePrimary(maxPrec)
+	if err != nil {
+		return nil, err
+	}
+	return p.parseInfix(left, leftPrec, maxPrec)
+}
+
+func (p *parser) parseInfix(left Term, leftPrec, maxPrec int) (Term, error) {
+	for {
+		var name string
+		parenArg := false
+		switch p.tok.kind {
+		case tokAtom:
+			name = p.tok.text
+		case tokFunctor:
+			// An infix operator directly followed by '(' lexes as a
+			// functor token, e.g. "X/(Y*Z)"; the right operand is the
+			// parenthesized term.
+			name = p.tok.text
+			parenArg = true
+		case tokPunct:
+			if p.tok.text == "," || p.tok.text == "|" {
+				name = p.tok.text
+			} else {
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+		def, ok := infixTable[name]
+		if !ok || def.priority > maxPrec {
+			return left, nil
+		}
+		leftMax, rightMax := def.priority-1, def.priority-1
+		switch def.typ {
+		case "xfy":
+			rightMax = def.priority
+		case "yfx":
+			leftMax = def.priority
+		}
+		if leftPrec > leftMax {
+			return left, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var right Term
+		var err error
+		if parenArg {
+			right, err = p.parse(1200)
+			if err != nil {
+				return nil, err
+			}
+			if !(p.tok.kind == tokPunct && p.tok.text == ")") {
+				return nil, p.errf("expected ')' after %s(...), got %v", name, p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			right, err = p.parse(rightMax)
+			if err != nil {
+				return nil, err
+			}
+		}
+		left = Comp(name, left, right)
+		leftPrec = def.priority
+	}
+}
+
+// parsePrimary parses a primary term, returning it and its priority
+// (operators used as atoms carry their priority).
+func (p *parser) parsePrimary(maxPrec int) (Term, int, error) {
+	switch p.tok.kind {
+	case tokInt:
+		v := p.tok.ival
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		return Int(v), 0, nil
+
+	case tokVar:
+		v := p.intern(p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		return v, 0, nil
+
+	case tokFunctor:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		var args []Term
+		for {
+			a, err := p.parse(999) // below ','
+			if err != nil {
+				return nil, 0, err
+			}
+			args = append(args, a)
+			if p.tok.kind == tokPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, 0, err
+				}
+				continue
+			}
+			break
+		}
+		if !(p.tok.kind == tokPunct && p.tok.text == ")") {
+			return nil, 0, p.errf("expected ')' in arguments of %s, got %v", name, p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		return Comp(name, args...), 0, nil
+
+	case tokPunct:
+		switch p.tok.text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, 0, err
+			}
+			t, err := p.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !(p.tok.kind == tokPunct && p.tok.text == ")") {
+				return nil, 0, p.errf("expected ')', got %v", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return nil, 0, err
+			}
+			return t, 0, nil
+		case "[":
+			return p.parseList()
+		case "{":
+			if err := p.advance(); err != nil {
+				return nil, 0, err
+			}
+			if p.tok.kind == tokPunct && p.tok.text == "}" {
+				if err := p.advance(); err != nil {
+					return nil, 0, err
+				}
+				return Atom("{}"), 0, nil
+			}
+			t, err := p.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !(p.tok.kind == tokPunct && p.tok.text == "}") {
+				return nil, 0, p.errf("expected '}', got %v", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return nil, 0, err
+			}
+			return Comp("{}", t), 0, nil
+		}
+		return nil, 0, p.errf("unexpected %v", p.tok)
+
+	case tokAtom:
+		name := p.tok.text
+		// Prefix operator?
+		if def, ok := prefixTable[name]; ok && def.priority <= maxPrec {
+			if err := p.advance(); err != nil {
+				return nil, 0, err
+			}
+			// Negative numeric literal.
+			if name == "-" && p.tok.kind == tokInt {
+				v := p.tok.ival
+				if err := p.advance(); err != nil {
+					return nil, 0, err
+				}
+				return Int(-v), 0, nil
+			}
+			if p.startsTerm() {
+				argMax := def.priority
+				if def.typ == "fx" {
+					argMax--
+				}
+				arg, err := p.parse(argMax)
+				if err != nil {
+					return nil, 0, err
+				}
+				return Comp(name, arg), def.priority, nil
+			}
+			// Operator used as a plain atom.
+			return Atom(name), def.priority, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		prec := 0
+		if def, ok := infixTable[name]; ok {
+			prec = def.priority
+		}
+		return Atom(name), prec, nil
+
+	case tokEnd:
+		return nil, 0, p.errf("unexpected end of clause")
+	default:
+		return nil, 0, p.errf("unexpected %v", p.tok)
+	}
+}
+
+// startsTerm reports whether the current token can begin a term.
+func (p *parser) startsTerm() bool {
+	switch p.tok.kind {
+	case tokInt, tokVar, tokFunctor:
+		return true
+	case tokAtom:
+		return true
+	case tokPunct:
+		return p.tok.text == "(" || p.tok.text == "[" || p.tok.text == "{"
+	}
+	return false
+}
+
+func (p *parser) parseList() (Term, int, error) {
+	if err := p.advance(); err != nil { // consume '['
+		return nil, 0, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == "]" {
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		return Nil, 0, nil
+	}
+	var items []Term
+	for {
+		t, err := p.parse(999)
+		if err != nil {
+			return nil, 0, err
+		}
+		items = append(items, t)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		break
+	}
+	tail := Term(Nil)
+	if p.tok.kind == tokPunct && p.tok.text == "|" {
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		t, err := p.parse(999)
+		if err != nil {
+			return nil, 0, err
+		}
+		tail = t
+	}
+	if !(p.tok.kind == tokPunct && p.tok.text == "]") {
+		return nil, 0, p.errf("expected ']', got %v", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, 0, err
+	}
+	return MkList(items, tail), 0, nil
+}
+
+// Program parses an entire source text into its clause terms.
+func Program(src string) ([]Term, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Term
+	for {
+		c, err := p.readClause()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return out, nil
+		}
+		out = append(out, c)
+	}
+}
+
+// OneTerm parses a single term (no trailing '.') from src.
+func OneTerm(src string) (Term, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	p.vars = map[string]*Var{}
+	t, err := p.parse(1200)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF && p.tok.kind != tokEnd {
+		return nil, p.errf("trailing input: %v", p.tok)
+	}
+	return t, nil
+}

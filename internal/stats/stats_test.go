@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 1e-12 {
+		t.Errorf("sd = %v, want 2", sd)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("StdDev of singleton != 0")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	if z := ZScore(7, 5, 2); z != 1 {
+		t.Errorf("z = %v", z)
+	}
+	if z := ZScore(3, 5, 2); z != -1 {
+		t.Errorf("z = %v", z)
+	}
+	if z := ZScore(10, 5, 0); z != 0 {
+		t.Errorf("z with zero sd = %v, want 0", z)
+	}
+}
+
+func TestMeanShiftProperty(t *testing.T) {
+	// Mean(xs + c) = Mean(xs) + c; StdDev invariant under shift.
+	f := func(base []float64, c float64) bool {
+		if len(base) == 0 || math.Abs(c) > 1e6 {
+			return true
+		}
+		for _, x := range base {
+			if math.Abs(x) > 1e6 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		shifted := make([]float64, len(base))
+		for i, x := range base {
+			shifted[i] = x + c
+		}
+		if math.Abs(Mean(shifted)-(Mean(base)+c)) > 1e-6 {
+			return false
+		}
+		return math.Abs(StdDev(shifted)-StdDev(base)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 12345)
+	out := tb.String()
+	if !strings.Contains(out, "My Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12345") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		0.0626: "0.0626",
+		1.55:   "1.55",
+		123.45: "123.5",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

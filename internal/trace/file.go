@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format (little endian):
+//
+//	magic   [4]byte  "RWT1"
+//	count   uint64   number of references
+//	refs    count × {addr uint32, pe uint8, op uint8, obj uint8, pad uint8}
+//
+// This mirrors the paper's Figure 1 pipeline, where the emulator writes a
+// memory-reference trace file that the coherent-cache simulators consume.
+
+var fileMagic = [4]byte{'R', 'W', 'T', '1'}
+
+// WriteTo serializes the buffer to w in the binary trace format.
+func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.Write(fileMagic[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(b.Refs)))
+	n, err = bw.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var rec [8]byte
+	for _, r := range b.Refs {
+		binary.LittleEndian.PutUint32(rec[0:4], r.Addr)
+		rec[4] = r.PE
+		rec[5] = uint8(r.Op)
+		rec[6] = uint8(r.Obj)
+		rec[7] = 0
+		n, err = bw.Write(rec[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom parses a binary trace stream written by WriteTo, replacing the
+// buffer's contents.
+func (b *Buffer) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var read int64
+	var magic [4]byte
+	n, err := io.ReadFull(br, magic[:])
+	read += int64(n)
+	if err != nil {
+		return read, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return read, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [8]byte
+	n, err = io.ReadFull(br, hdr[:])
+	read += int64(n)
+	if err != nil {
+		return read, fmt.Errorf("trace: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxRefs = 1 << 31
+	if count > maxRefs {
+		return read, fmt.Errorf("trace: implausible reference count %d", count)
+	}
+	b.Refs = make([]Ref, 0, count)
+	var rec [8]byte
+	for i := uint64(0); i < count; i++ {
+		n, err = io.ReadFull(br, rec[:])
+		read += int64(n)
+		if err != nil {
+			return read, fmt.Errorf("trace: reading ref %d: %w", i, err)
+		}
+		b.Refs = append(b.Refs, Ref{
+			Addr: binary.LittleEndian.Uint32(rec[0:4]),
+			PE:   rec[4],
+			Op:   Op(rec[5]),
+			Obj:  ObjType(rec[6]),
+		})
+	}
+	return read, nil
+}
+
+// StreamWriter writes references to an io.Writer incrementally, without
+// buffering the whole trace in memory — for very long runs whose traces
+// exceed RAM. The header's count field is written as zero; ReadFrom
+// cannot parse streamed files, use ReadStream instead.
+type StreamWriter struct {
+	w     *bufio.Writer
+	count int64
+	err   error
+}
+
+// NewStreamWriter writes the stream header and returns the sink.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [8]byte // count unknown: zero marks a streamed trace
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &StreamWriter{w: bw}, nil
+}
+
+// Add implements Sink.
+func (s *StreamWriter) Add(r Ref) {
+	if s.err != nil {
+		return
+	}
+	var rec [8]byte
+	binary.LittleEndian.PutUint32(rec[0:4], r.Addr)
+	rec[4] = r.PE
+	rec[5] = uint8(r.Op)
+	rec[6] = uint8(r.Obj)
+	if _, err := s.w.Write(rec[:]); err != nil {
+		s.err = err
+		return
+	}
+	s.count++
+}
+
+// Count returns the number of references written.
+func (s *StreamWriter) Count() int64 { return s.count }
+
+// Close flushes the stream and reports any deferred write error.
+func (s *StreamWriter) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// ReadStream parses a trace written by StreamWriter (or WriteTo),
+// calling sink.Add for each reference without materializing the trace.
+// It returns the number of references delivered.
+func ReadStream(r io.Reader, sink Sink) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return 0, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading count: %w", err)
+	}
+	declared := binary.LittleEndian.Uint64(hdr[:])
+	var n int64
+	var rec [8]byte
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("trace: reading ref %d: %w", n, err)
+		}
+		sink.Add(Ref{
+			Addr: binary.LittleEndian.Uint32(rec[0:4]),
+			PE:   rec[4],
+			Op:   Op(rec[5]),
+			Obj:  ObjType(rec[6]),
+		})
+		n++
+	}
+	if declared != 0 && int64(declared) != n {
+		return n, fmt.Errorf("trace: header declares %d refs, stream has %d", declared, n)
+	}
+	return n, nil
+}

@@ -1,0 +1,332 @@
+// Package trace defines the memory-reference trace model used throughout
+// the reproduction: every read or write performed by a RAP-WAM worker is
+// recorded as a Ref carrying the accessing PE, the address, a read/write
+// flag and the storage-object classification of Table 1 of the paper
+// ("Characteristics of RAP-WAM Storage Objects").
+//
+// The object classification is what the paper's hybrid cache protocol
+// consumes: each object type maps to a storage area, a locality class
+// (Local or Global) and whether accesses to it are performed under a lock.
+package trace
+
+import "fmt"
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+const (
+	// OpRead is a data read.
+	OpRead Op = iota
+	// OpWrite is a data write.
+	OpWrite
+)
+
+// String returns "R" or "W".
+func (o Op) String() string {
+	if o == OpRead {
+		return "R"
+	}
+	return "W"
+}
+
+// Area identifies a RAP-WAM storage area. Each worker (abstract machine)
+// owns one instance of every area; together they form its Stack Set.
+type Area uint8
+
+const (
+	// AreaNone marks an unclassified address (never emitted by the engine).
+	AreaNone Area = iota
+	// AreaHeap is the global structure heap (terms).
+	AreaHeap
+	// AreaLocal is the local stack: environments and parcall frames.
+	AreaLocal
+	// AreaControl is the control stack: choice points and markers.
+	// The paper notes the stack is split into Control and Local stacks
+	// "for reasons of locality and locking".
+	AreaControl
+	// AreaTrail records conditional bindings for backtracking.
+	AreaTrail
+	// AreaPDL is the unification push-down list.
+	AreaPDL
+	// AreaGoal is the goal stack used for on-demand scheduling.
+	AreaGoal
+	// AreaMsg is the inter-worker message buffer.
+	AreaMsg
+
+	numAreas = int(AreaMsg) + 1
+)
+
+var areaNames = [...]string{
+	AreaNone:    "none",
+	AreaHeap:    "heap",
+	AreaLocal:   "local",
+	AreaControl: "control",
+	AreaTrail:   "trail",
+	AreaPDL:     "pdl",
+	AreaGoal:    "goal",
+	AreaMsg:     "msg",
+}
+
+// NumAreas is the number of distinct storage areas (including AreaNone).
+const NumAreas = numAreas
+
+// String returns the lowercase area name.
+func (a Area) String() string {
+	if int(a) < len(areaNames) {
+		return areaNames[a]
+	}
+	return fmt.Sprintf("area(%d)", uint8(a))
+}
+
+// ObjType is a storage-object classification, one per row of Table 1 of
+// the paper. It determines the storage area the object lives in, whether
+// the object is Local (only its owning worker references it) or Global
+// (other workers may reference it), and whether accesses are locked.
+type ObjType uint8
+
+const (
+	// ObjNone marks an unclassified reference.
+	ObjNone ObjType = iota
+	// ObjEnvControl is an environment's control words (continuation
+	// environment and continuation code pointer). Stack, local, no lock.
+	ObjEnvControl
+	// ObjEnvPVar is an environment's permanent variables. Stack, global
+	// (parallel goals may dereference into the parent's environment).
+	ObjEnvPVar
+	// ObjChoicePoint is a choice point frame. Stack (control), local.
+	ObjChoicePoint
+	// ObjHeap is a heap cell. Heap, global.
+	ObjHeap
+	// ObjTrail is a trail entry. Trail, local.
+	ObjTrail
+	// ObjPDL is a unification push-down-list entry. PDL, local.
+	ObjPDL
+	// ObjParcallLocal is the local section of a parcall frame
+	// (previous-frame link, continuation, saved environment). Local.
+	ObjParcallLocal
+	// ObjParcallGlobal is the global section of a parcall frame (goal
+	// slot status words read and written by remote workers). Global.
+	ObjParcallGlobal
+	// ObjParcallCount is a parcall frame's completion/pending counter,
+	// accessed under a lock by every worker executing one of its goals.
+	ObjParcallCount
+	// ObjMarker is a marker frame delimiting a stack section. Local.
+	ObjMarker
+	// ObjGoalFrame is a goal frame on the goal stack, pushed by the
+	// spawning worker and popped (possibly by a remote worker) under the
+	// goal-stack lock. Global, locked.
+	ObjGoalFrame
+	// ObjMessage is a message-buffer entry (kill/redo/unwind signals).
+	// Global, locked.
+	ObjMessage
+
+	numObjTypes = int(ObjMessage) + 1
+)
+
+// NumObjTypes is the number of distinct object classifications
+// (including ObjNone).
+const NumObjTypes = numObjTypes
+
+// objInfo is one row of Table 1.
+type objInfo struct {
+	name   string
+	area   Area
+	wam    bool // present in the sequential WAM?
+	lock   bool // accessed under a lock?
+	global bool // Global locality (shared) vs Local
+}
+
+var objTable = [...]objInfo{
+	ObjNone:          {"none", AreaNone, false, false, false},
+	ObjEnvControl:    {"envt/control", AreaLocal, true, false, false},
+	ObjEnvPVar:       {"envt/pvars", AreaLocal, true, false, true},
+	ObjChoicePoint:   {"choicepoint", AreaControl, true, false, false},
+	ObjHeap:          {"heap", AreaHeap, true, false, true},
+	ObjTrail:         {"trail", AreaTrail, true, false, false},
+	ObjPDL:           {"pdl", AreaPDL, true, false, false},
+	ObjParcallLocal:  {"parcall/local", AreaLocal, false, false, false},
+	ObjParcallGlobal: {"parcall/global", AreaLocal, false, false, true},
+	ObjParcallCount:  {"parcall/counts", AreaLocal, false, true, true},
+	ObjMarker:        {"marker", AreaControl, false, false, false},
+	ObjGoalFrame:     {"goalframe", AreaGoal, false, true, true},
+	ObjMessage:       {"message", AreaMsg, false, true, true},
+}
+
+// String returns the Table 1 row name.
+func (t ObjType) String() string {
+	if int(t) < len(objTable) {
+		return objTable[t].name
+	}
+	return fmt.Sprintf("obj(%d)", uint8(t))
+}
+
+// Area returns the storage area this object type lives in.
+func (t ObjType) Area() Area { return objTable[t].area }
+
+// WAM reports whether this object type exists in the sequential WAM
+// (as opposed to being a RAP-WAM extension).
+func (t ObjType) WAM() bool { return objTable[t].wam }
+
+// Locked reports whether accesses to this object type occur under a lock.
+func (t ObjType) Locked() bool { return objTable[t].lock }
+
+// Global reports whether the object is potentially shared between workers
+// (the paper's "Global" locality class). The hybrid cache protocol
+// write-throughs Global writes and copies back Local ones.
+func (t ObjType) Global() bool { return objTable[t].global }
+
+// ObjTypes returns all real object classifications (excluding ObjNone)
+// in Table 1 order.
+func ObjTypes() []ObjType {
+	out := make([]ObjType, 0, numObjTypes-1)
+	for t := ObjType(1); int(t) < numObjTypes; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Ref is a single memory reference: one word read or written by one PE.
+// It is deliberately small (8 bytes) so that multi-hundred-thousand
+// reference traces stay cheap to buffer and replay.
+type Ref struct {
+	// Addr is the word address in the flat shared address space.
+	Addr uint32
+	// PE is the identifier of the accessing processing element.
+	PE uint8
+	// Op is OpRead or OpWrite.
+	Op Op
+	// Obj is the storage-object classification of the referenced word.
+	Obj ObjType
+	_   uint8 // padding, keeps struct size stable at 8 bytes
+}
+
+// String formats the reference as e.g. "pe2 W 0x001234 heap".
+func (r Ref) String() string {
+	return fmt.Sprintf("pe%d %s 0x%06x %s", r.PE, r.Op, r.Addr, r.Obj)
+}
+
+// Sink consumes references as they are generated by the engine.
+// Implementations include Buffer, Counter, cache simulators and file
+// writers. Add must be safe for single-goroutine use only; the engine is
+// a deterministic interleaved simulation and never emits concurrently.
+type Sink interface {
+	Add(r Ref)
+}
+
+// The nil sink: discards everything.
+type nullSink struct{}
+
+func (nullSink) Add(Ref) {}
+
+// Discard is a Sink that drops all references.
+var Discard Sink = nullSink{}
+
+// Tee duplicates references to several sinks in order.
+type Tee []Sink
+
+// Add forwards r to every sink in the tee.
+func (t Tee) Add(r Ref) {
+	for _, s := range t {
+		s.Add(r)
+	}
+}
+
+// Buffer accumulates references in memory for later replay (the paper's
+// trace-file stage: the emulator writes a trace which the cache
+// simulators then consume repeatedly with different parameters).
+type Buffer struct {
+	Refs []Ref
+}
+
+// NewBuffer returns a Buffer with capacity for n references preallocated,
+// so that tracing does not trigger repeated reallocation (and, per the
+// reproduction notes, keeps Go GC activity away from the measured path).
+func NewBuffer(n int) *Buffer {
+	return &Buffer{Refs: make([]Ref, 0, n)}
+}
+
+// Add appends r.
+func (b *Buffer) Add(r Ref) { b.Refs = append(b.Refs, r) }
+
+// Len returns the number of buffered references.
+func (b *Buffer) Len() int { return len(b.Refs) }
+
+// Replay feeds every buffered reference to sink in order.
+func (b *Buffer) Replay(sink Sink) {
+	for _, r := range b.Refs {
+		sink.Add(r)
+	}
+}
+
+// Counter tallies references by object type and operation without
+// storing them. It is the cheap always-on instrumentation the engine
+// uses for Table 2 style statistics.
+type Counter struct {
+	// ByObj[obj][op] counts references per object type and operation.
+	ByObj [NumObjTypes][2]int64
+	// ByPE counts total references per PE (up to 64 PEs).
+	ByPE [64]int64
+}
+
+// Add tallies r.
+func (c *Counter) Add(r Ref) {
+	c.ByObj[r.Obj][r.Op]++
+	if int(r.PE) < len(c.ByPE) {
+		c.ByPE[r.PE]++
+	}
+}
+
+// Total returns the total number of references.
+func (c *Counter) Total() int64 {
+	var n int64
+	for _, ops := range c.ByObj {
+		n += ops[0] + ops[1]
+	}
+	return n
+}
+
+// Reads returns the total number of read references.
+func (c *Counter) Reads() int64 {
+	var n int64
+	for _, ops := range c.ByObj {
+		n += ops[0]
+	}
+	return n
+}
+
+// Writes returns the total number of write references.
+func (c *Counter) Writes() int64 {
+	var n int64
+	for _, ops := range c.ByObj {
+		n += ops[1]
+	}
+	return n
+}
+
+// ByArea aggregates counts per storage area.
+func (c *Counter) ByArea() map[Area]int64 {
+	out := make(map[Area]int64, NumAreas)
+	for obj, ops := range c.ByObj {
+		a := ObjType(obj).Area()
+		if n := ops[0] + ops[1]; n != 0 {
+			out[a] += n
+		}
+	}
+	return out
+}
+
+// GlobalShare returns the fraction of references classified Global.
+func (c *Counter) GlobalShare() float64 {
+	var global, total int64
+	for obj, ops := range c.ByObj {
+		n := ops[0] + ops[1]
+		total += n
+		if ObjType(obj).Global() {
+			global += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(global) / float64(total)
+}

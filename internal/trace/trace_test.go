@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestObjTableMatchesPaperTable1(t *testing.T) {
+	// Table 1 of the paper: area, WAM?, lock, locality per object type.
+	cases := []struct {
+		obj    ObjType
+		area   Area
+		wam    bool
+		lock   bool
+		global bool
+	}{
+		{ObjEnvControl, AreaLocal, true, false, false},
+		{ObjEnvPVar, AreaLocal, true, false, true},
+		{ObjChoicePoint, AreaControl, true, false, false},
+		{ObjHeap, AreaHeap, true, false, true},
+		{ObjTrail, AreaTrail, true, false, false},
+		{ObjPDL, AreaPDL, true, false, false},
+		{ObjParcallLocal, AreaLocal, false, false, false},
+		{ObjParcallGlobal, AreaLocal, false, false, true},
+		{ObjParcallCount, AreaLocal, false, true, true},
+		{ObjMarker, AreaControl, false, false, false},
+		{ObjGoalFrame, AreaGoal, false, true, true},
+		{ObjMessage, AreaMsg, false, true, true},
+	}
+	for _, c := range cases {
+		if got := c.obj.Area(); got != c.area {
+			t.Errorf("%v: area = %v, want %v", c.obj, got, c.area)
+		}
+		if got := c.obj.WAM(); got != c.wam {
+			t.Errorf("%v: WAM = %v, want %v", c.obj, got, c.wam)
+		}
+		if got := c.obj.Locked(); got != c.lock {
+			t.Errorf("%v: Locked = %v, want %v", c.obj, got, c.lock)
+		}
+		if got := c.obj.Global(); got != c.global {
+			t.Errorf("%v: Global = %v, want %v", c.obj, got, c.global)
+		}
+	}
+	if len(cases) != len(ObjTypes()) {
+		t.Errorf("covered %d object types, table has %d", len(cases), len(ObjTypes()))
+	}
+}
+
+func TestLockedImpliesGlobal(t *testing.T) {
+	// Locked objects are by definition accessed by several workers.
+	for _, o := range ObjTypes() {
+		if o.Locked() && !o.Global() {
+			t.Errorf("%v is locked but not global", o)
+		}
+	}
+}
+
+func TestWAMObjectsHaveNoLocks(t *testing.T) {
+	// The sequential WAM needs no locks; only RAP-WAM extensions lock.
+	for _, o := range ObjTypes() {
+		if o.WAM() && o.Locked() {
+			t.Errorf("%v is a WAM object but locked", o)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(Ref{Addr: 1, PE: 0, Op: OpRead, Obj: ObjHeap})
+	c.Add(Ref{Addr: 2, PE: 1, Op: OpWrite, Obj: ObjHeap})
+	c.Add(Ref{Addr: 3, PE: 1, Op: OpWrite, Obj: ObjTrail})
+	if got := c.Total(); got != 3 {
+		t.Errorf("Total = %d, want 3", got)
+	}
+	if got := c.Reads(); got != 1 {
+		t.Errorf("Reads = %d, want 1", got)
+	}
+	if got := c.Writes(); got != 2 {
+		t.Errorf("Writes = %d, want 2", got)
+	}
+	if got := c.ByPE[1]; got != 2 {
+		t.Errorf("ByPE[1] = %d, want 2", got)
+	}
+	byArea := c.ByArea()
+	if byArea[AreaHeap] != 2 || byArea[AreaTrail] != 1 {
+		t.Errorf("ByArea = %v", byArea)
+	}
+	want := 2.0 / 3.0
+	if got := c.GlobalShare(); got != want {
+		t.Errorf("GlobalShare = %v, want %v", got, want)
+	}
+}
+
+func TestBufferReplayPreservesOrder(t *testing.T) {
+	b := NewBuffer(4)
+	in := []Ref{
+		{Addr: 10, PE: 0, Op: OpRead, Obj: ObjHeap},
+		{Addr: 11, PE: 1, Op: OpWrite, Obj: ObjTrail},
+		{Addr: 12, PE: 2, Op: OpRead, Obj: ObjGoalFrame},
+	}
+	for _, r := range in {
+		b.Add(r)
+	}
+	var out []Ref
+	b.Replay(sinkFunc(func(r Ref) { out = append(out, r) }))
+	if len(out) != len(in) {
+		t.Fatalf("replayed %d refs, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("ref %d: got %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+type sinkFunc func(Ref)
+
+func (f sinkFunc) Add(r Ref) { f(r) }
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := NewBuffer(1), NewBuffer(1)
+	tee := Tee{a, b}
+	tee.Add(Ref{Addr: 5, Obj: ObjHeap})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("tee delivered %d/%d refs, want 1/1", a.Len(), b.Len())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuffer(1000)
+	for i := 0; i < 1000; i++ {
+		b.Add(Ref{
+			Addr: rng.Uint32(),
+			PE:   uint8(rng.Intn(8)),
+			Op:   Op(rng.Intn(2)),
+			Obj:  ObjType(1 + rng.Intn(NumObjTypes-1)),
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var back Buffer
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if len(back.Refs) != len(b.Refs) {
+		t.Fatalf("round trip: %d refs, want %d", len(back.Refs), len(b.Refs))
+	}
+	for i := range b.Refs {
+		if back.Refs[i] != b.Refs[i] {
+			t.Fatalf("ref %d: got %v, want %v", i, back.Refs[i], b.Refs[i])
+		}
+	}
+}
+
+func TestFileRejectsBadMagic(t *testing.T) {
+	var back Buffer
+	if _, err := back.ReadFrom(bytes.NewReader([]byte("XXXX\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Error("ReadFrom accepted bad magic")
+	}
+}
+
+func TestRefRoundTripProperty(t *testing.T) {
+	// Property: any single Ref survives a file round trip.
+	f := func(addr uint32, pe uint8, op bool, obj uint8) bool {
+		r := Ref{Addr: addr, PE: pe, Op: OpRead, Obj: ObjType(obj % uint8(NumObjTypes))}
+		if op {
+			r.Op = OpWrite
+		}
+		b := Buffer{Refs: []Ref{r}}
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			return false
+		}
+		var back Buffer
+		if _, err := back.ReadFrom(&buf); err != nil {
+			return false
+		}
+		return len(back.Refs) == 1 && back.Refs[0] == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAreaStrings(t *testing.T) {
+	for a := AreaNone; a <= AreaMsg; a++ {
+		if a.String() == "" {
+			t.Errorf("area %d has empty name", a)
+		}
+	}
+	if AreaHeap.String() != "heap" {
+		t.Errorf("AreaHeap = %q", AreaHeap.String())
+	}
+}
+
+func TestStreamWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ref{
+		{Addr: 1, PE: 0, Op: OpRead, Obj: ObjHeap},
+		{Addr: 2, PE: 3, Op: OpWrite, Obj: ObjTrail},
+		{Addr: 99, PE: 7, Op: OpRead, Obj: ObjGoalFrame},
+	}
+	for _, r := range want {
+		sw.Add(r)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != 3 {
+		t.Errorf("count = %d", sw.Count())
+	}
+	var got []Ref
+	n, err := ReadStream(&buf, sinkFunc(func(r Ref) { got = append(got, r) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("read %d refs", n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ref %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadStreamAcceptsBufferFiles(t *testing.T) {
+	b := Buffer{Refs: []Ref{{Addr: 5, Obj: ObjHeap}, {Addr: 6, Obj: ObjPDL, Op: OpWrite}}}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	if _, err := ReadStream(&buf, sinkFunc(func(Ref) { count++ })); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestReadStreamDetectsTruncation(t *testing.T) {
+	b := Buffer{Refs: []Ref{{Addr: 5, Obj: ObjHeap}, {Addr: 6, Obj: ObjPDL}}}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8] // drop one record
+	if _, err := ReadStream(bytes.NewReader(trunc), Discard); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package rapwam is a Go reproduction of the system studied in
+// "Memory Performance of AND-parallel Prolog on Shared-Memory
+// Architectures" (Hermenegildo & Tick, ICPP 1988): the RAP-WAM
+// AND-parallel Prolog abstract machine, its memory-reference
+// instrumentation, and the trace-driven multiprocessor cache simulator
+// used to compare coherency protocols.
+//
+// The package compiles &-Prolog programs (Prolog plus Conditional Graph
+// Expressions such as "(ground(X) | p(X) & q(X))") to RAP-WAM code,
+// executes them on a configurable number of abstract machines sharing
+// one flat memory, captures word-level memory traces classified per the
+// paper's Table 1, and replays those traces through coherent cache
+// models (conventional write-through, write-in broadcast, write-through
+// broadcast, the paper's hybrid scheme, and plain copyback).
+//
+// Quick start:
+//
+//	prog, err := rapwam.Compile(`
+//	    fib(0, 0).
+//	    fib(1, 1).
+//	    fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,
+//	        (fib(N1, F1) & fib(N2, F2)),
+//	        F is F1 + F2.
+//	`, "fib(15, F)")
+//	if err != nil { ... }
+//	res, err := prog.Run(rapwam.RunConfig{PEs: 8})
+//	fmt.Println(res.Bindings["F"], res.Stats.Cycles)
+//
+// The experiment drivers that regenerate every table and figure of the
+// paper live behind the Figure2, Table2, Table3, Figure4, MLIPS and
+// BusStudy functions; `go test -bench .` runs them all.
+package rapwam
+
+import (
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// CompileOptions control translation.
+type CompileOptions struct {
+	// Sequential compiles CGEs to ordinary conjunctions, producing the
+	// plain-WAM baseline the paper measures against.
+	Sequential bool
+}
+
+// Program is a compiled &-Prolog program plus query.
+type Program struct {
+	code *isa.Code
+}
+
+// Compile translates a program and a query (the goal text, without
+// "?-") into RAP-WAM code.
+func Compile(program, query string) (*Program, error) {
+	return CompileWithOptions(program, query, CompileOptions{})
+}
+
+// CompileWithOptions is Compile with explicit options.
+func CompileWithOptions(program, query string, opt CompileOptions) (*Program, error) {
+	code, err := compile.Compile(program, query, compile.Options{Sequential: opt.Sequential})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{code: code}, nil
+}
+
+// MustCompile is Compile that panics on error (for examples and tests).
+func MustCompile(program, query string) *Program {
+	p, err := Compile(program, query)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Listing returns the compiled instruction listing (for inspection).
+func (p *Program) Listing() string { return p.code.Listing() }
+
+// Parallel reports whether the program contains CGEs.
+func (p *Program) Parallel() bool { return p.code.Parallel }
+
+// MachineStats re-exports the engine's instrumentation summary.
+type MachineStats = core.Stats
+
+// RefCounter re-exports the by-object-type reference counter.
+type RefCounter = trace.Counter
+
+// RunConfig parameterizes an execution.
+type RunConfig struct {
+	// PEs is the number of processing elements (workers). Default 1.
+	PEs int
+	// CaptureTrace records the full memory-reference trace in
+	// Result.Trace.
+	CaptureTrace bool
+	// MaxCycles bounds the simulation (0 = a large default).
+	MaxCycles int64
+	// HeapWords overrides the per-worker heap size (0 = default);
+	// other areas scale with the defaults in internal/mem.
+	HeapWords int
+}
+
+// Result is the outcome of running a Program.
+type Result struct {
+	// Success reports whether the query succeeded.
+	Success bool
+	// Bindings maps query variable names to rendered terms.
+	Bindings map[string]string
+	// Output holds everything written by write/1 and nl/0.
+	Output string
+	// Stats is the machine instrumentation (cycles, per-PE work,
+	// parallelism counters, storage high-water marks).
+	Stats MachineStats
+	// Refs counts references by Table 1 object type.
+	Refs *RefCounter
+	// Trace is the full reference trace when CaptureTrace was set.
+	Trace *Trace
+}
+
+// Run executes the program's query to its first solution.
+func (p *Program) Run(cfg RunConfig) (*Result, error) {
+	pes := cfg.PEs
+	if pes <= 0 {
+		pes = 1
+	}
+	layout := mem.DefaultLayout(pes)
+	if cfg.HeapWords > 0 {
+		layout.Heap = cfg.HeapWords
+	}
+	var buf *trace.Buffer
+	var sink trace.Sink
+	if cfg.CaptureTrace {
+		buf = trace.NewBuffer(1 << 20)
+		sink = buf
+	}
+	eng, err := core.New(p.code, core.Config{
+		PEs:       pes,
+		Layout:    layout,
+		Sink:      sink,
+		MaxCycles: cfg.MaxCycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Success:  res.Success,
+		Bindings: res.Bindings,
+		Output:   res.Output,
+		Stats:    res.Stats,
+		Refs:     res.Refs,
+	}
+	if buf != nil {
+		out.Trace = &Trace{buf: buf}
+	}
+	return out, nil
+}
+
+// Benchmark re-exports the paper's benchmark workloads.
+type Benchmark = bench.Benchmark
+
+// PaperBenchmarks returns deriv, tak, qsort and matrix — the paper's
+// Table 2 suite, with calibrated inputs.
+func PaperBenchmarks() []Benchmark { return bench.Paper() }
+
+// LargeBenchmarks returns the sequential locality-reference suite
+// (nrev, queens, primes, zebra) used by the Table 3 fit study.
+func LargeBenchmarks() []Benchmark { return bench.Large() }
+
+// BenchmarkByName looks a benchmark up by name.
+func BenchmarkByName(name string) (Benchmark, bool) { return bench.ByName(name) }
+
+// RunBenchmark executes a benchmark with the given parallelism,
+// validating its answer.
+func RunBenchmark(b Benchmark, pes int, sequential bool) (*Result, error) {
+	res, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Success:  res.Success,
+		Bindings: res.Bindings,
+		Output:   res.Output,
+		Stats:    res.Stats,
+		Refs:     res.Refs,
+	}, nil
+}
+
+// TraceBenchmark runs a benchmark capturing its memory trace.
+func TraceBenchmark(b Benchmark, pes int, sequential bool) (*Trace, error) {
+	buf := trace.NewBuffer(1 << 20)
+	if _, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential, Sink: buf}); err != nil {
+		return nil, err
+	}
+	return &Trace{buf: buf}, nil
+}
