@@ -145,6 +145,63 @@ func BenchmarkCacheSimThroughput(b *testing.B) {
 	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
 }
 
+// replayBenchConfigs is the configuration set for the replay-pipeline
+// benchmarks: two protocols at three sizes (6 configs, > the 4 the
+// pipeline acceptance floor asks for).
+func replayBenchConfigs(pes int) []CacheConfig {
+	var cfgs []CacheConfig
+	for _, proto := range []Protocol{WriteInBroadcast, Hybrid} {
+		for _, size := range []int{256, 1024, 4096} {
+			cfgs = append(cfgs, CacheConfig{
+				PEs: pes, SizeWords: size, LineWords: 4,
+				Protocol:      proto,
+				WriteAllocate: PaperWriteAllocate(proto, size),
+			})
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkReplaySequential replays one trace through each cache
+// configuration in turn — one full trace walk per configuration (the
+// pre-pipeline formulation).
+func BenchmarkReplaySequential(b *testing.B) {
+	bm, _ := BenchmarkByName("qsort")
+	tr, err := TraceBenchmark(bm, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := replayBenchConfigs(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := SimulateCache(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "simrefs/s")
+}
+
+// BenchmarkReplayFanOut replays the same trace through the same
+// configurations with the streaming fan-out pipeline — a single trace
+// walk feeding all simulators concurrently.
+func BenchmarkReplayFanOut(b *testing.B) {
+	bm, _ := BenchmarkByName("qsort")
+	tr, err := TraceBenchmark(bm, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := replayBenchConfigs(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.ReplayAll(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "simrefs/s")
+}
+
 // BenchmarkPerBenchmarkParallel runs each paper benchmark at 8 PEs
 // (the paper's Table 2 configuration), reporting simulated speedup.
 func BenchmarkPerBenchmarkParallel(b *testing.B) {

@@ -17,6 +17,19 @@ type Trace struct {
 // Len returns the number of references.
 func (t *Trace) Len() int { return t.buf.Len() }
 
+// Replay streams the trace into sink in emission order.
+func (t *Trace) Replay(sink Sink) { t.buf.Replay(sink) }
+
+// ReplayAll replays the trace through every cache configuration in a
+// single concurrent pass: one simulator per configuration, each driven
+// on its own goroutine while the trace is walked once (the streaming
+// fan-out pipeline). Per-configuration statistics are bit-identical to
+// calling SimulateCache once per configuration — only the wall-clock
+// cost changes.
+func (t *Trace) ReplayAll(cfgs []CacheConfig) ([]CacheStats, error) {
+	return cache.SimulateAll(t.buf, cfgs)
+}
+
 // WriteTo serializes the trace in the binary trace-file format.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.buf.WriteTo(w) }
 
@@ -53,6 +66,20 @@ type CacheConfig = cache.Config
 
 // CacheStats re-exports the simulator's statistics.
 type CacheStats = cache.Stats
+
+// CacheSim re-exports the multiprocessor cache simulator. It implements
+// Sink, so it can be attached directly to a running Program (see
+// RunConfig.Sink) or fed from a Trace.
+type CacheSim = cache.Sim
+
+// NewCacheSim validates cfg and builds a cache simulator ready to
+// consume a reference stream.
+func NewCacheSim(cfg CacheConfig) (*CacheSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cache.New(cfg), nil
+}
 
 // PaperWriteAllocate returns the allocation policy the paper selected
 // for each protocol and cache size.

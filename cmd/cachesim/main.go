@@ -6,6 +6,10 @@
 //
 //	cachesim -size 512 -line 4 -pes 8 -protocol broadcast trace.rwt
 //	cachesim -sweep -pes 8 trace.rwt     # paper-style size sweep
+//
+// -sweep walks the trace once (not once per configuration), feeding
+// every protocol × size simulator concurrently through the streaming
+// fan-out pipeline; -par bounds the simulators per pass.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 		protoStr = flag.String("protocol", "broadcast", "write-through | broadcast | update | hybrid | copyback")
 		alloc    = flag.String("allocate", "paper", "write-allocate policy: paper | yes | no")
 		sweep    = flag.Bool("sweep", false, "sweep cache sizes 64..8192 over all protocols")
+		par      = flag.Int("par", 0, "max cache simulators per trace pass in -sweep (0 = all in one pass)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,7 +56,7 @@ func main() {
 	fmt.Printf("trace: %d references\n", tr.Len())
 
 	if *sweep {
-		runSweep(tr, *pes, *line)
+		runSweep(tr, *pes, *line, *par)
 		return
 	}
 
@@ -84,27 +89,53 @@ func main() {
 	fmt.Printf("invalidations:  %d\n", st.Invalidations)
 }
 
-func runSweep(tr *rapwam.Trace, pes, line int) {
+// runSweep simulates the whole protocol × size grid with the streaming
+// fan-out pipeline: the trace is walked once per pass, feeding up to
+// par concurrent cache simulators (all of them in a single pass by
+// default), instead of once per configuration.
+func runSweep(tr *rapwam.Trace, pes, line, par int) {
 	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
 	order := []string{"broadcast", "hybrid", "write-through"}
+	var cfgs []rapwam.CacheConfig
+	for _, name := range order {
+		proto := protocols[name]
+		for _, s := range sizes {
+			cfgs = append(cfgs, rapwam.CacheConfig{
+				PEs: pes, SizeWords: s, LineWords: line,
+				Protocol:      proto,
+				WriteAllocate: rapwam.PaperWriteAllocate(proto, s),
+			})
+		}
+	}
+	if par <= 0 || par > len(cfgs) {
+		par = len(cfgs)
+	}
+	passes := (len(cfgs) + par - 1) / par
+	stats := make([]rapwam.CacheStats, 0, len(cfgs))
+	for lo := 0; lo < len(cfgs); lo += par {
+		hi := lo + par
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		if passes > 1 {
+			fmt.Fprintf(os.Stderr, "cachesim: pass %d/%d: %d configs, one trace walk\n",
+				lo/par+1, passes, hi-lo)
+		}
+		st, err := tr.ReplayAll(cfgs[lo:hi])
+		if err != nil {
+			fatal(err)
+		}
+		stats = append(stats, st...)
+	}
 	fmt.Printf("%-14s", "protocol")
 	for _, s := range sizes {
 		fmt.Printf(" %7dw", s)
 	}
 	fmt.Println()
-	for _, name := range order {
-		proto := protocols[name]
+	for i, name := range order {
 		fmt.Printf("%-14s", name)
-		for _, s := range sizes {
-			st, err := rapwam.SimulateCache(tr, rapwam.CacheConfig{
-				PEs: pes, SizeWords: s, LineWords: line,
-				Protocol:      proto,
-				WriteAllocate: rapwam.PaperWriteAllocate(proto, s),
-			})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf(" %8.4f", st.TrafficRatio())
+		for j := range sizes {
+			fmt.Printf(" %8.4f", stats[i*len(sizes)+j].TrafficRatio())
 		}
 		fmt.Println()
 	}

@@ -10,6 +10,11 @@
 //	experiments -exp fig4
 //	experiments -exp mlips [-cache 256] [-target 2]
 //	experiments -exp bus [-pes 8] [-cache 256]
+//
+// Grid experiments (table3, fig4, mlips, bus, ablations) run on a
+// bounded worker pool over memoized traces, simulating all cache
+// configurations per trace concurrently in a single pass; -par bounds
+// the pool and -progress reports per-cell completion on stderr.
 package main
 
 import (
@@ -22,13 +27,23 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|fig2|table2|table3|fig4|mlips|bus|ablations|all")
-		pes    = flag.Int("pes", 8, "PE count for table2/bus")
-		maxPEs = flag.Int("maxpes", 16, "largest PE count for fig2")
-		cache  = flag.Int("cache", 256, "cache size (words) for mlips/bus")
-		target = flag.Float64("target", 2, "MLIPS target")
+		exp      = flag.String("exp", "all", "experiment: table1|fig2|table2|table3|fig4|mlips|bus|ablations|all")
+		pes      = flag.Int("pes", 8, "PE count for table2/bus")
+		maxPEs   = flag.Int("maxpes", 16, "largest PE count for fig2")
+		cache    = flag.Int("cache", 256, "cache size (words) for mlips/bus")
+		target   = flag.Float64("target", 2, "MLIPS target")
+		par      = flag.Int("par", 0, "experiment grid parallelism (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 	)
 	flag.Parse()
+
+	rapwam.SetParallelism(*par)
+	if *progress {
+		rapwam.SetProgress(func(msg string) {
+			fmt.Fprintf(os.Stderr, "experiments: %s\n", msg)
+		})
+		fmt.Fprintf(os.Stderr, "experiments: grid parallelism %d\n", rapwam.Parallelism())
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {

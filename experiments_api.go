@@ -8,6 +8,31 @@ import (
 // This file re-exports the experiment drivers that regenerate the
 // paper's tables and figures. Each returns structured data with a
 // String() rendering.
+//
+// The drivers that sweep parameter grids (Figure 4, Table 3, MLIPS,
+// the bus study and the cache ablations) run on a shared grid runner:
+// engine traces are memoized per (benchmark, PEs, sequential), every
+// cache configuration consuming one trace is simulated concurrently in
+// a single pass over it, and independent grid cells execute on a
+// bounded worker pool (see SetParallelism).
+
+// SetParallelism bounds how many experiment grid cells (engine runs
+// and trace replays) execute concurrently. n <= 0 restores the
+// default, runtime.GOMAXPROCS(0). Results are identical at any
+// parallelism level; only wall-clock time changes.
+func SetParallelism(n int) { experiments.SetParallelism(n) }
+
+// Parallelism returns the current experiment worker-pool width.
+func Parallelism() int { return experiments.Parallelism() }
+
+// SetProgress installs a callback receiving one short line per
+// completed experiment grid cell (nil disables progress reporting).
+// The callback may be invoked from multiple goroutines concurrently.
+func SetProgress(f func(msg string)) { experiments.SetProgress(f) }
+
+// ResetTraceCache drops the memoized benchmark traces the experiment
+// drivers share (a few MB per distinct benchmark × PE-count entry).
+func ResetTraceCache() { experiments.ResetTraceCache() }
 
 // Table1 renders the storage-object classification (paper Table 1).
 func Table1() string { return experiments.Table1() }

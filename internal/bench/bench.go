@@ -125,6 +125,20 @@ func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
 	return res, nil
 }
 
+// Trace runs the benchmark capturing its full memory-reference trace
+// (preallocated so tracing stays off the Go GC's hot path), returning
+// the buffer alongside the run result. Callers that want to stream
+// references instead of buffering them pass their own Sink via
+// RunConfig.
+func Trace(b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, error) {
+	buf := trace.NewBuffer(1 << 20)
+	res, err := Run(b, RunConfig{PEs: pes, Sequential: sequential, Sink: buf})
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, res, nil
+}
+
 func expectSuccess(res *core.Result) error {
 	if !res.Success {
 		return fmt.Errorf("query failed")

@@ -74,27 +74,31 @@ type LineSizeSweep struct {
 	PEs       int
 }
 
-// RunLineSizeSweep replays one benchmark trace across line sizes.
+// RunLineSizeSweep replays one benchmark trace across line sizes; all
+// line sizes are simulated concurrently in a single pass over the
+// memoized trace.
 func RunLineSizeSweep(benchName string, pes, sizeWords int, lines []int) (*LineSizeSweep, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
 	}
-	buf, err := traceBenchmark(b, pes, pes == 1)
+	cfgs := make([]cache.Config, len(lines))
+	for i, lw := range lines {
+		cfgs[i] = cache.Config{
+			PEs: pes, SizeWords: sizeWords, LineWords: lw,
+			Protocol:      cache.WriteInBroadcast,
+			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, sizeWords),
+		}
+	}
+	sts, err := simulateAll(b, pes, pes == 1, cfgs)
 	if err != nil {
 		return nil, err
 	}
 	out := &LineSizeSweep{SizeWords: sizeWords, Benchmark: benchName, PEs: pes}
-	for _, lw := range lines {
-		sim := cache.New(cache.Config{
-			PEs: pes, SizeWords: sizeWords, LineWords: lw,
-			Protocol:      cache.WriteInBroadcast,
-			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, sizeWords),
-		})
-		buf.Replay(sim)
+	for i, lw := range lines {
 		out.LineWords = append(out.LineWords, lw)
-		out.Ratio = append(out.Ratio, sim.Stats().TrafficRatio())
-		out.MissRatio = append(out.MissRatio, sim.Stats().MissRatio())
+		out.Ratio = append(out.Ratio, sts[i].TrafficRatio())
+		out.MissRatio = append(out.MissRatio, sts[i].MissRatio())
 	}
 	return out, nil
 }
@@ -175,10 +179,12 @@ func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) 
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
 	}
-	buf, err := traceBenchmark(b, pes, pes == 1)
+	buf, err := cachedTrace(b, pes, pes == 1)
 	if err != nil {
 		return nil, err
 	}
+	// The DES needs the bus-transaction event stream in global order, so
+	// this one replay stays sequential (a single OnBus observer).
 	var events []busmodel.Event
 	sim := cache.New(cache.Config{
 		PEs: pes, SizeWords: cacheWords, LineWords: 4,
@@ -233,27 +239,31 @@ type AssocSweep struct {
 	Ratio     []float64
 }
 
-// RunAssocSweep replays one benchmark trace across associativities.
+// RunAssocSweep replays one benchmark trace across associativities; all
+// ways are simulated concurrently in a single pass over the memoized
+// trace.
 func RunAssocSweep(benchName string, pes, sizeWords int, ways []int) (*AssocSweep, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
 	}
-	buf, err := traceBenchmark(b, pes, pes == 1)
-	if err != nil {
-		return nil, err
-	}
-	out := &AssocSweep{Benchmark: benchName, PEs: pes, SizeWords: sizeWords}
-	for _, w := range ways {
-		sim := cache.New(cache.Config{
+	cfgs := make([]cache.Config, len(ways))
+	for i, w := range ways {
+		cfgs[i] = cache.Config{
 			PEs: pes, SizeWords: sizeWords, LineWords: 4,
 			Protocol:      cache.WriteInBroadcast,
 			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, sizeWords),
 			Assoc:         w,
-		})
-		buf.Replay(sim)
+		}
+	}
+	sts, err := simulateAll(b, pes, pes == 1, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := &AssocSweep{Benchmark: benchName, PEs: pes, SizeWords: sizeWords}
+	for i, w := range ways {
 		out.Ways = append(out.Ways, w)
-		out.Ratio = append(out.Ratio, sim.Stats().TrafficRatio())
+		out.Ratio = append(out.Ratio, sts[i].TrafficRatio())
 	}
 	return out, nil
 }

@@ -184,23 +184,6 @@ func (t2 *Table2) String() string {
 	return t.String()
 }
 
-// traceBenchmark runs a benchmark capturing its full reference trace.
-func traceBenchmark(b bench.Benchmark, pes int, sequential bool) (*trace.Buffer, error) {
-	buf := trace.NewBuffer(1 << 20)
-	_, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential, Sink: buf})
-	if err != nil {
-		return nil, err
-	}
-	return buf, nil
-}
-
-// cacheRatio replays a trace through one cache configuration.
-func cacheRatio(buf *trace.Buffer, cfg cache.Config) float64 {
-	sim := cache.New(cfg)
-	buf.Replay(sim)
-	return sim.Stats().TrafficRatio()
-}
-
 // Table3 reproduces the locality-fit study: traffic ratios of the
 // large sequential benchmarks define the reference mean and standard
 // deviation; the small benchmarks' z-scores measure how typically they
@@ -218,51 +201,59 @@ type Table3 struct {
 }
 
 // RunTable3 computes the fit at the paper's 512 and 1024 word cache
-// sizes (sequential runs, copyback cache, 4-word lines).
+// sizes (sequential runs, copyback cache, 4-word lines). All benchmarks
+// run as independent grid cells; each benchmark's trace is walked once,
+// with both cache sizes simulated concurrently in that single pass.
 func RunTable3() (*Table3, error) {
 	sizes := []int{512, 1024}
 	out := &Table3{CacheSizes: sizes}
 
-	var largeRatios [][]float64 // [sizeIdx][bench]
-	for range sizes {
-		largeRatios = append(largeRatios, nil)
-	}
-	for _, b := range bench.Large() {
-		out.Large = append(out.Large, b.Name)
-		buf, err := traceBenchmark(b, 1, true)
-		if err != nil {
-			return nil, err
-		}
-		for i, size := range sizes {
-			r := cacheRatio(buf, cache.Config{
-				PEs: 1, SizeWords: size, LineWords: 4,
-				Protocol:      cache.Copyback,
-				WriteAllocate: cache.PaperWriteAllocate(cache.Copyback, size),
-			})
-			largeRatios[i] = append(largeRatios[i], r)
-		}
-	}
-	for i := range sizes {
-		out.Etr = append(out.Etr, stats.Mean(largeRatios[i]))
-		out.Sigma = append(out.Sigma, stats.StdDev(largeRatios[i]))
-	}
-
+	larges := bench.Large()
 	smalls := []bench.Benchmark{bench.Deriv(), bench.Tak(), bench.Qsort()}
+	for _, b := range larges {
+		out.Large = append(out.Large, b.Name)
+	}
 	for _, b := range smalls {
 		out.Small = append(out.Small, b.Name)
 	}
-	out.Z = make([][]float64, len(sizes))
-	for _, b := range smalls {
-		buf, err := traceBenchmark(b, 1, true)
-		if err != nil {
-			return nil, err
+	cfgs := make([]cache.Config, len(sizes))
+	for i, size := range sizes {
+		cfgs[i] = cache.Config{
+			PEs: 1, SizeWords: size, LineWords: 4,
+			Protocol:      cache.Copyback,
+			WriteAllocate: cache.PaperWriteAllocate(cache.Copyback, size),
 		}
-		for i, size := range sizes {
-			r := cacheRatio(buf, cache.Config{
-				PEs: 1, SizeWords: size, LineWords: 4,
-				Protocol:      cache.Copyback,
-				WriteAllocate: cache.PaperWriteAllocate(cache.Copyback, size),
-			})
+	}
+	all := append(append([]bench.Benchmark(nil), larges...), smalls...)
+	ratios := make([][]float64, len(all)) // [benchIdx][sizeIdx]
+	err := runGrid(len(all), func(i int) error {
+		st, err := simulateAll(all[i], 1, true, cfgs)
+		if err != nil {
+			return err
+		}
+		ratios[i] = make([]float64, len(st))
+		for j, s := range st {
+			ratios[i][j] = s.TrafficRatio()
+		}
+		progress("table3: %s: %d sizes in one pass", all[i].Name, len(st))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i := range sizes {
+		var largeRatios []float64
+		for benchIdx := range larges {
+			largeRatios = append(largeRatios, ratios[benchIdx][i])
+		}
+		out.Etr = append(out.Etr, stats.Mean(largeRatios))
+		out.Sigma = append(out.Sigma, stats.StdDev(largeRatios))
+	}
+	out.Z = make([][]float64, len(sizes))
+	for smallIdx := range smalls {
+		for i := range sizes {
+			r := ratios[len(larges)+smallIdx][i]
 			out.Z[i] = append(out.Z[i], stats.ZScore(r, out.Etr[i], out.Sigma[i]))
 		}
 	}
@@ -320,6 +311,13 @@ type Figure4 struct {
 // RunFigure4 sweeps cache size × protocol × PE count, averaging the
 // traffic ratio over the four paper benchmarks, with the paper's
 // write-allocate policy selections.
+//
+// The sweep runs on the experiment grid: each benchmark is traced once
+// per PE count (memoized), every protocol × size configuration for that
+// trace is simulated concurrently in a single pass over it, and the
+// independent (PE count, benchmark) cells execute on the bounded worker
+// pool. The numbers are identical to the sequential formulation — only
+// the wall clock changes.
 func RunFigure4(peCounts, sizes []int) (*Figure4, error) {
 	protocols := []cache.Protocol{cache.WriteInBroadcast, cache.Hybrid, cache.WriteThrough}
 	out := &Figure4{CacheSizes: sizes, PECounts: peCounts, Protocols: protocols}
@@ -328,26 +326,49 @@ func RunFigure4(peCounts, sizes []int) (*Figure4, error) {
 	for _, b := range benches {
 		out.Benchmarks = append(out.Benchmarks, b.Name)
 	}
-	// Trace each benchmark once per PE count, replay across configs.
-	for _, pes := range peCounts {
-		bufs := make([]*trace.Buffer, len(benches))
-		for i, b := range benches {
-			buf, err := traceBenchmark(b, pes, pes == 1)
-			if err != nil {
-				return nil, err
-			}
-			bufs[i] = buf
-		}
+	// One grid cell per (PE count, benchmark): trace once, simulate all
+	// protocol × size configurations against it in one pass. Cells write
+	// only their own cellStats slot.
+	cfgs := func(pes int) []cache.Config {
+		cs := make([]cache.Config, 0, len(protocols)*len(sizes))
 		for _, proto := range protocols {
-			s := Fig4Series{Protocol: proto, PEs: pes}
 			for _, size := range sizes {
+				cs = append(cs, cache.Config{
+					PEs: pes, SizeWords: size, LineWords: 4,
+					Protocol:      proto,
+					WriteAllocate: cache.PaperWriteAllocate(proto, size),
+				})
+			}
+		}
+		return cs
+	}
+	cellStats := make([][][]cache.Stats, len(peCounts)) // [pesIdx][benchIdx][cfgIdx]
+	for i := range cellStats {
+		cellStats[i] = make([][]cache.Stats, len(benches))
+	}
+	err := runGrid(len(peCounts)*len(benches), func(i int) error {
+		pesIdx, benchIdx := i/len(benches), i%len(benches)
+		pes := peCounts[pesIdx]
+		st, err := simulateAll(benches[benchIdx], pes, pes == 1, cfgs(pes))
+		if err != nil {
+			return err
+		}
+		cellStats[pesIdx][benchIdx] = st
+		progress("fig4: %s @ %d PEs: %d configs in one pass",
+			benches[benchIdx].Name, pes, len(st))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pesIdx, pes := range peCounts {
+		for protoIdx, proto := range protocols {
+			s := Fig4Series{Protocol: proto, PEs: pes}
+			for sizeIdx := range sizes {
 				var ratios []float64
-				for _, buf := range bufs {
-					ratios = append(ratios, cacheRatio(buf, cache.Config{
-						PEs: pes, SizeWords: size, LineWords: 4,
-						Protocol:      proto,
-						WriteAllocate: cache.PaperWriteAllocate(proto, size),
-					}))
+				for benchIdx := range benches {
+					st := cellStats[pesIdx][benchIdx][protoIdx*len(sizes)+sizeIdx]
+					ratios = append(ratios, st.TrafficRatio())
 				}
 				s.Ratio = append(s.Ratio, stats.Mean(ratios))
 			}
@@ -423,15 +444,32 @@ type MLIPS struct {
 // over the benchmark suite, takes the 8-PE write-in broadcast capture
 // ratio at the given cache size, and prices the paper's 2 MLIPS target.
 func RunMLIPS(cacheWords int, targetMLIPS float64) (*MLIPS, error) {
-	var instrs, refs, calls int64
-	for _, b := range append(bench.Paper(), bench.Large()...) {
-		res, err := bench.Run(b, bench.RunConfig{PEs: 1, Sequential: true})
+	// Sequential instruction/reference statistics: one grid cell per
+	// benchmark, summed after the pool drains.
+	seqBenches := append(bench.Paper(), bench.Large()...)
+	type seqStat struct{ instrs, refs, calls int64 }
+	seqStats := make([]seqStat, len(seqBenches))
+	err := runGrid(len(seqBenches), func(i int) error {
+		res, err := bench.Run(seqBenches[i], bench.RunConfig{PEs: 1, Sequential: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		instrs += res.Stats.TotalInstructions()
-		refs += res.Stats.TotalWorkRefs()
-		calls += res.Stats.Inferences
+		seqStats[i] = seqStat{
+			instrs: res.Stats.TotalInstructions(),
+			refs:   res.Stats.TotalWorkRefs(),
+			calls:  res.Stats.Inferences,
+		}
+		progress("mlips: measured %s", seqBenches[i].Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var instrs, refs, calls int64
+	for _, s := range seqStats {
+		instrs += s.instrs
+		refs += s.refs
+		calls += s.calls
 	}
 	m := &MLIPS{TargetMLIPS: targetMLIPS}
 	m.InstrPerLI = float64(instrs) / float64(calls)
@@ -441,18 +479,10 @@ func RunMLIPS(cacheWords int, targetMLIPS float64) (*MLIPS, error) {
 	m.RawBandwidthMBs = targetMLIPS * m.BytesPerLI
 
 	// Capture ratio: mean over the paper benchmarks at 8 PEs with
-	// write-in broadcast caches.
-	var ratios []float64
-	for _, b := range bench.Paper() {
-		buf, err := traceBenchmark(b, 8, false)
-		if err != nil {
-			return nil, err
-		}
-		ratios = append(ratios, cacheRatio(buf, cache.Config{
-			PEs: 8, SizeWords: cacheWords, LineWords: 4,
-			Protocol:      cache.WriteInBroadcast,
-			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, cacheWords),
-		}))
+	// write-in broadcast caches (memoized traces, grid cells).
+	ratios, err := protocolRatios(bench.Paper(), 8, cacheWords, "mlips")
+	if err != nil {
+		return nil, err
 	}
 	traffic := stats.Mean(ratios)
 	m.CaptureRatio = 1 - traffic
@@ -485,19 +515,13 @@ type BusStudy struct {
 	Utilization  []float64
 }
 
-// RunBusStudy evaluates efficiency for a range of bus speeds.
+// RunBusStudy evaluates efficiency for a range of bus speeds. The
+// per-benchmark traffic ratios come from memoized traces simulated on
+// the experiment grid.
 func RunBusStudy(pes, cacheWords int) (*BusStudy, error) {
-	var ratios []float64
-	for _, b := range bench.Paper() {
-		buf, err := traceBenchmark(b, pes, pes == 1)
-		if err != nil {
-			return nil, err
-		}
-		ratios = append(ratios, cacheRatio(buf, cache.Config{
-			PEs: pes, SizeWords: cacheWords, LineWords: 4,
-			Protocol:      cache.WriteInBroadcast,
-			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, cacheWords),
-		}))
+	ratios, err := protocolRatios(bench.Paper(), pes, cacheWords, "bus")
+	if err != nil {
+		return nil, err
 	}
 	out := &BusStudy{PEs: pes, TrafficRatio: stats.Mean(ratios)}
 	for _, bw := range []float64{0.5, 1, 2, 4, 8, 16} {

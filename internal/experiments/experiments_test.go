@@ -196,7 +196,7 @@ func TestUpdateBroadcastCloseToWriteIn(t *testing.T) {
 	// almost identical to those of the write-in broadcast cache, an
 	// indication that communication traffic in RAP-WAM is low."
 	b, _ := benchByName(t, "qsort")
-	buf, err := traceBenchmark(b, 8, false)
+	buf, err := cachedTrace(b, 8, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// This file is the experiment grid runner. Every driver that sweeps a
+// parameter grid (Figure 4, Table 3, MLIPS, the bus study, the cache
+// ablations) decomposes into the same three layers:
+//
+//  1. cachedTrace — each distinct (benchmark, PEs, sequential) engine
+//     run is executed once and its reference trace memoized, no matter
+//     how many grid cells need it;
+//  2. simulateAll — all cache configurations that consume one trace are
+//     simulated concurrently in a single pass over it (trace.FanOut);
+//  3. runGrid — independent grid cells (different traces) execute on a
+//     bounded worker pool.
+//
+// The engine itself is a deterministic single-goroutine simulation and
+// every cache.Sim is driven by exactly one consumer goroutine, so the
+// results are bit-identical to the sequential formulation.
+
+// parallelism is the worker-pool width for independent grid cells.
+var parallelism atomic.Int64
+
+// SetParallelism bounds the number of grid cells (engine runs and
+// trace replays) in flight at once. n <= 0 restores the default,
+// runtime.GOMAXPROCS(0).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the current grid worker-pool width.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// progressFn gives the stored callback a fixed concrete type so
+// atomic.Value accepts nil installs.
+type progressFn func(msg string)
+
+var onProgress atomic.Value // progressFn
+
+// SetProgress installs a callback receiving a short line for every
+// completed grid cell (e.g. "fig4: deriv @ 8 PEs: 24 configs
+// simulated"); nil disables reporting. The callback may be invoked
+// from multiple worker goroutines concurrently, and may be swapped
+// while a grid run is in flight.
+func SetProgress(f func(msg string)) {
+	onProgress.Store(progressFn(f))
+}
+
+// progress reports one completed cell.
+func progress(format string, args ...any) {
+	if f, _ := onProgress.Load().(progressFn); f != nil {
+		f(fmt.Sprintf(format, args...))
+	}
+}
+
+// runGrid executes fn(0..n-1) on the bounded worker pool and returns
+// the first error. After an error, cells not yet started are skipped;
+// cells already in flight complete. Cells must write only to their own
+// result slots.
+func runGrid(n int, fn func(i int) error) error {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for firstErr.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// traceKey identifies one memoized engine run.
+type traceKey struct {
+	bench      string
+	pes        int
+	sequential bool
+}
+
+// traceEntry is a once-filled memo slot.
+type traceEntry struct {
+	once sync.Once
+	buf  *trace.Buffer
+	err  error
+}
+
+// traces memoizes reference traces across drivers: `-exp all` shares
+// e.g. the 8-PE paper-benchmark traces between Figure 4, MLIPS and the
+// bus study. Traces are a few MB each; ResetTraceCache frees them.
+var traces sync.Map // traceKey -> *traceEntry
+
+// cachedTrace returns the memoized trace for (b, pes, sequential),
+// running the engine on first use. Concurrent callers for the same key
+// block until the single engine run completes.
+func cachedTrace(b bench.Benchmark, pes int, sequential bool) (*trace.Buffer, error) {
+	key := traceKey{b.Name, pes, sequential}
+	v, _ := traces.LoadOrStore(key, &traceEntry{})
+	e := v.(*traceEntry)
+	e.once.Do(func() {
+		e.buf, _, e.err = bench.Trace(b, pes, sequential)
+		if e.err == nil {
+			progress("traced %s @ %d PEs (%d refs)", b.Name, pes, e.buf.Len())
+		}
+	})
+	return e.buf, e.err
+}
+
+// ResetTraceCache drops all memoized traces.
+func ResetTraceCache() {
+	traces.Range(func(k, _ any) bool {
+		traces.Delete(k)
+		return true
+	})
+}
+
+// simulateAll replays one memoized trace through all configurations in
+// a single fan-out pass and returns per-configuration statistics.
+func simulateAll(b bench.Benchmark, pes int, sequential bool, cfgs []cache.Config) ([]cache.Stats, error) {
+	buf, err := cachedTrace(b, pes, sequential)
+	if err != nil {
+		return nil, err
+	}
+	return cache.SimulateAll(buf, cfgs)
+}
+
+// protocolRatios computes each benchmark's write-in broadcast traffic
+// ratio at the given PE count and cache size — the quantity both the
+// MLIPS calculation and the bus study average — as one grid cell per
+// benchmark over memoized traces.
+func protocolRatios(benches []bench.Benchmark, pes, cacheWords int, tag string) ([]float64, error) {
+	cfg := cache.Config{
+		PEs: pes, SizeWords: cacheWords, LineWords: 4,
+		Protocol:      cache.WriteInBroadcast,
+		WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, cacheWords),
+	}
+	ratios := make([]float64, len(benches))
+	err := runGrid(len(benches), func(i int) error {
+		st, err := simulateAll(benches[i], pes, pes == 1, []cache.Config{cfg})
+		if err != nil {
+			return err
+		}
+		ratios[i] = st[0].TrafficRatio()
+		progress("%s: %s @ %d PEs: traffic %.3f", tag, benches[i].Name, pes, ratios[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ratios, nil
+}

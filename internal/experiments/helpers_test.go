@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/trace"
 )
 
 func benchByName(t *testing.T, name string) (bench.Benchmark, bool) {
@@ -13,4 +15,13 @@ func benchByName(t *testing.T, name string) (bench.Benchmark, bool) {
 		t.Fatalf("benchmark %q missing", name)
 	}
 	return b, ok
+}
+
+// cacheRatio replays a trace through one cache configuration — the
+// sequential one-config-per-walk path the fan-out pipeline replaced,
+// kept in tests as the reference formulation.
+func cacheRatio(buf *trace.Buffer, cfg cache.Config) float64 {
+	sim := cache.New(cfg)
+	buf.Replay(sim)
+	return sim.Stats().TrafficRatio()
 }

@@ -1,0 +1,192 @@
+package trace
+
+import "sync"
+
+// BatchSink is an optional extension of Sink for consumers that can
+// process whole batches of references at once. The fan-out dispatcher
+// uses it to amortize the per-reference interface call; the batch slice
+// is shared and read-only — implementations must not retain or mutate
+// it after AddBatch returns.
+type BatchSink interface {
+	Sink
+	AddBatch(refs []Ref)
+}
+
+// FanOutConfig tunes the concurrent dispatcher. The zero value selects
+// sensible defaults.
+type FanOutConfig struct {
+	// ChunkRefs is the number of references per dispatch batch
+	// (default 8192). Larger chunks amortize channel operations;
+	// smaller ones reduce consumer latency.
+	ChunkRefs int
+	// Depth is the per-consumer channel buffer in chunks (default 4):
+	// how far a fast producer may run ahead of the slowest consumer.
+	Depth int
+}
+
+const (
+	defaultChunkRefs = 8192
+	defaultDepth     = 4
+)
+
+// FanOut is the concurrent fan-out dispatcher: it accepts a single
+// ordered reference stream (it implements Sink and BatchSink) and
+// delivers it to every consumer sink on a dedicated goroutine, in
+// chunks, over a buffered channel per consumer.
+//
+// Ordering: every consumer receives every reference exactly once, in
+// exactly the emission order — chunks are sent to each consumer channel
+// in order and each consumer processes its chunks sequentially, so a
+// deterministic consumer (e.g. a cache simulator) produces results
+// bit-identical to a sequential replay.
+//
+// The producer side (Add, AddBatch, Close) is single-goroutine, like
+// any other Sink. Consumers never see concurrent calls either: each
+// sink is driven by exactly one goroutine. The chunks handed to
+// consumers may be shared between them, so consumers must treat them
+// as read-only.
+//
+// Close flushes the partial chunk, closes the channels and waits for
+// all consumers to drain. A FanOut must be Closed before the consumer
+// sinks' results are read; reading earlier is a data race.
+type FanOut struct {
+	chans     []chan []Ref
+	wg        sync.WaitGroup
+	chunk     []Ref
+	chunkRefs int
+	closed    bool
+}
+
+// NewFanOut starts one consumer goroutine per sink and returns the
+// dispatcher. A FanOut with no sinks is valid and discards everything.
+func NewFanOut(cfg FanOutConfig, sinks ...Sink) *FanOut {
+	if cfg.ChunkRefs <= 0 {
+		cfg.ChunkRefs = defaultChunkRefs
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = defaultDepth
+	}
+	f := &FanOut{
+		chans:     make([]chan []Ref, len(sinks)),
+		chunkRefs: cfg.ChunkRefs,
+	}
+	for i, s := range sinks {
+		ch := make(chan []Ref, cfg.Depth)
+		f.chans[i] = ch
+		f.wg.Add(1)
+		go consume(&f.wg, ch, s)
+	}
+	return f
+}
+
+// consume drains one consumer's chunk channel into its sink.
+func consume(wg *sync.WaitGroup, ch <-chan []Ref, s Sink) {
+	defer wg.Done()
+	if bs, ok := s.(BatchSink); ok {
+		for chunk := range ch {
+			bs.AddBatch(chunk)
+		}
+		return
+	}
+	for chunk := range ch {
+		for _, r := range chunk {
+			s.Add(r)
+		}
+	}
+}
+
+// send dispatches one ready chunk to every consumer. The chunk is
+// shared between consumers and must not be written after this point.
+func (f *FanOut) send(chunk []Ref) {
+	if len(chunk) == 0 {
+		return
+	}
+	for _, ch := range f.chans {
+		ch <- chunk
+	}
+}
+
+// Add implements Sink: the reference is appended to the current chunk,
+// which is dispatched when full. A FanOut is dead after Close; Add
+// panics rather than silently dropping or deadlocking.
+func (f *FanOut) Add(r Ref) {
+	if f.closed {
+		panic("trace: FanOut.Add after Close")
+	}
+	if f.chunk == nil {
+		f.chunk = make([]Ref, 0, f.chunkRefs)
+	}
+	f.chunk = append(f.chunk, r)
+	if len(f.chunk) == f.chunkRefs {
+		f.send(f.chunk)
+		f.chunk = nil
+	}
+}
+
+// AddBatch implements BatchSink. Large batches are dispatched as
+// sub-slices of refs without copying, so the caller must not mutate
+// refs until Close returns (Buffer.ReplayAll relies on this to replay
+// a buffered trace with zero copies). Like Add, AddBatch panics after
+// Close.
+func (f *FanOut) AddBatch(refs []Ref) {
+	if f.closed {
+		panic("trace: FanOut.AddBatch after Close")
+	}
+	// Top up a partial chunk first so ordering is preserved.
+	for len(refs) > 0 && len(f.chunk) > 0 {
+		n := f.chunkRefs - len(f.chunk)
+		if n > len(refs) {
+			n = len(refs)
+		}
+		f.chunk = append(f.chunk, refs[:n]...)
+		refs = refs[n:]
+		if len(f.chunk) == f.chunkRefs {
+			f.send(f.chunk)
+			f.chunk = nil
+		}
+	}
+	// Dispatch full chunks directly from the caller's slice.
+	for len(refs) >= f.chunkRefs {
+		f.send(refs[:f.chunkRefs:f.chunkRefs])
+		refs = refs[f.chunkRefs:]
+	}
+	// Buffer the tail.
+	if len(refs) > 0 {
+		if f.chunk == nil {
+			f.chunk = make([]Ref, 0, f.chunkRefs)
+		}
+		f.chunk = append(f.chunk, refs...)
+	}
+}
+
+// Close flushes the partial chunk and blocks until every consumer has
+// processed its entire stream. After Close returns the consumer sinks
+// are quiescent and safe to read. Close is idempotent.
+func (f *FanOut) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.send(f.chunk)
+	f.chunk = nil
+	for _, ch := range f.chans {
+		close(ch)
+	}
+	f.wg.Wait()
+}
+
+// ReplayAll feeds the buffered trace to all sinks concurrently in a
+// single pass, returning once every sink has consumed the full trace.
+// The buffer is chunked by reference (no copying); sinks receive the
+// references in buffer order, so deterministic sinks produce results
+// identical to sequential Replay.
+func (b *Buffer) ReplayAll(sinks ...Sink) {
+	if len(sinks) == 1 {
+		// A single consumer gains nothing from the goroutine hop.
+		b.Replay(sinks[0])
+		return
+	}
+	f := NewFanOut(FanOutConfig{}, sinks...)
+	f.AddBatch(b.Refs)
+	f.Close()
+}

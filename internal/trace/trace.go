@@ -7,6 +7,31 @@
 // The object classification is what the paper's hybrid cache protocol
 // consumes: each object type maps to a storage area, a locality class
 // (Local or Global) and whether accesses to it are performed under a lock.
+//
+// # The trace stream and the Sink contract
+//
+// A trace is an ordered stream of Refs. Producers (the engine, Buffer
+// replay, ReadStream) deliver the stream to a Sink by calling Add once
+// per reference, in emission order, from a single goroutine. A Sink
+// implementation may therefore be entirely unsynchronized; it only has
+// to tolerate one caller. Sinks that can consume whole batches more
+// efficiently additionally implement BatchSink; batch slices are shared
+// and read-only.
+//
+// Fan-out: Tee duplicates the stream to several sinks synchronously
+// (every sink sees each reference before the next is emitted). FanOut
+// is the concurrent counterpart — a chunked dispatcher that drives each
+// sink on its own goroutine while preserving, per sink, the exact
+// emission order, so deterministic consumers such as cache simulators
+// produce results bit-identical to a sequential replay. With FanOut the
+// stream must be terminated with Close, which flushes buffered chunks
+// and blocks until every consumer has drained; consumer state may only
+// be read after Close returns. Buffer.ReplayAll packages the common
+// case: one buffered trace, many concurrent consumers, one pass.
+//
+// The on-disk format (a fixed 8-byte little-endian record per Ref,
+// written by Buffer.WriteTo or StreamWriter and consumed by
+// Buffer.ReadFrom or ReadStream) is documented in file.go.
 package trace
 
 import "fmt"
@@ -208,7 +233,9 @@ func (r Ref) String() string {
 // Sink consumes references as they are generated by the engine.
 // Implementations include Buffer, Counter, cache simulators and file
 // writers. Add must be safe for single-goroutine use only; the engine is
-// a deterministic interleaved simulation and never emits concurrently.
+// a deterministic interleaved simulation and never emits concurrently,
+// and the FanOut dispatcher likewise drives each sink from exactly one
+// goroutine.
 type Sink interface {
 	Add(r Ref)
 }
@@ -247,6 +274,9 @@ func NewBuffer(n int) *Buffer {
 
 // Add appends r.
 func (b *Buffer) Add(r Ref) { b.Refs = append(b.Refs, r) }
+
+// AddBatch appends a batch of references (BatchSink).
+func (b *Buffer) AddBatch(refs []Ref) { b.Refs = append(b.Refs, refs...) }
 
 // Len returns the number of buffered references.
 func (b *Buffer) Len() int { return len(b.Refs) }

@@ -88,6 +88,16 @@ type MachineStats = core.Stats
 // RefCounter re-exports the by-object-type reference counter.
 type RefCounter = trace.Counter
 
+// Ref re-exports a single memory reference (one word read or written
+// by one PE, classified per the paper's Table 1).
+type Ref = trace.Ref
+
+// Sink re-exports the trace consumer interface. A Sink receives every
+// memory reference in emission order from a single goroutine; cache
+// simulators (NewCacheSim), trace buffers and file writers all
+// implement it. See internal/trace for the full stream contract.
+type Sink = trace.Sink
+
 // RunConfig parameterizes an execution.
 type RunConfig struct {
 	// PEs is the number of processing elements (workers). Default 1.
@@ -95,6 +105,13 @@ type RunConfig struct {
 	// CaptureTrace records the full memory-reference trace in
 	// Result.Trace.
 	CaptureTrace bool
+	// Sink, when non-nil, receives every memory reference as it is
+	// generated — a streaming alternative to CaptureTrace that never
+	// buffers the trace (attach a cache simulator from NewCacheSim, a
+	// trace.StreamWriter, or any fan-out of sinks). Sink and
+	// CaptureTrace compose: with both set the trace is buffered and
+	// streamed.
+	Sink Sink
 	// MaxCycles bounds the simulation (0 = a large default).
 	MaxCycles int64
 	// HeapWords overrides the per-worker heap size (0 = default);
@@ -135,6 +152,13 @@ func (p *Program) Run(cfg RunConfig) (*Result, error) {
 		buf = trace.NewBuffer(1 << 20)
 		sink = buf
 	}
+	if cfg.Sink != nil {
+		if sink != nil {
+			sink = trace.Tee{sink, cfg.Sink}
+		} else {
+			sink = cfg.Sink
+		}
+	}
 	eng, err := core.New(p.code, core.Config{
 		PEs:       pes,
 		Layout:    layout,
@@ -148,17 +172,23 @@ func (p *Program) Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{
+	out := newResult(res)
+	if buf != nil {
+		out.Trace = &Trace{buf: buf}
+	}
+	return out, nil
+}
+
+// newResult maps the engine's result onto the public type (Trace, when
+// captured, is attached by the caller).
+func newResult(res *core.Result) *Result {
+	return &Result{
 		Success:  res.Success,
 		Bindings: res.Bindings,
 		Output:   res.Output,
 		Stats:    res.Stats,
 		Refs:     res.Refs,
 	}
-	if buf != nil {
-		out.Trace = &Trace{buf: buf}
-	}
-	return out, nil
 }
 
 // Benchmark re-exports the paper's benchmark workloads.
@@ -182,20 +212,26 @@ func RunBenchmark(b Benchmark, pes int, sequential bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Success:  res.Success,
-		Bindings: res.Bindings,
-		Output:   res.Output,
-		Stats:    res.Stats,
-		Refs:     res.Refs,
-	}, nil
+	return newResult(res), nil
 }
 
 // TraceBenchmark runs a benchmark capturing its memory trace.
 func TraceBenchmark(b Benchmark, pes int, sequential bool) (*Trace, error) {
-	buf := trace.NewBuffer(1 << 20)
-	if _, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential, Sink: buf}); err != nil {
+	buf, _, err := bench.Trace(b, pes, sequential)
+	if err != nil {
 		return nil, err
 	}
 	return &Trace{buf: buf}, nil
+}
+
+// TraceBenchmarkTo streams a benchmark's memory trace into sink as it
+// is generated, without buffering it — the streaming counterpart of
+// TraceBenchmark for runs whose traces should not be materialized
+// (e.g. the engine feeding cache simulators directly).
+func TraceBenchmarkTo(b Benchmark, pes int, sequential bool, sink Sink) (*Result, error) {
+	res, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
 }

@@ -82,6 +82,62 @@ func TestTraceCaptureAndCacheSim(t *testing.T) {
 	}
 }
 
+func TestStreamingSinkMatchesCapturedTrace(t *testing.T) {
+	// Streaming a run directly into a cache simulator (no trace buffer)
+	// must match capturing the trace and replaying it afterwards.
+	src := `
+		app([], L, L).
+		app([H|T], L, [H|R]) :- app(T, L, R).
+	`
+	cfg := CacheConfig{
+		PEs: 1, SizeWords: 256, LineWords: 4, Protocol: Copyback, WriteAllocate: true,
+	}
+	live, err := NewCacheSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MustCompile(src, "app([1,2,3,4,5], [6,7,8], X)").
+		Run(RunConfig{CaptureTrace: true, Sink: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatal("no trace captured alongside the stream")
+	}
+	replayed, err := SimulateCache(res.Trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Stats() != replayed {
+		t.Errorf("streamed stats %+v != replayed stats %+v", live.Stats(), replayed)
+	}
+}
+
+func TestTraceReplayAllMatchesSimulateCache(t *testing.T) {
+	bm, ok := BenchmarkByName("deriv")
+	if !ok {
+		t.Fatal("deriv missing")
+	}
+	tr, err := TraceBenchmark(bm, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := replayBenchConfigs(2)
+	all, err := tr.ReplayAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		one, err := SimulateCache(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all[i] != one {
+			t.Errorf("config %d: ReplayAll %+v != SimulateCache %+v", i, all[i], one)
+		}
+	}
+}
+
 func TestTraceFileRoundTrip(t *testing.T) {
 	prog := MustCompile("p(1).", "p(X)")
 	res, err := prog.Run(RunConfig{CaptureTrace: true})
