@@ -1,0 +1,28 @@
+# Developer entry points; CI runs the same targets.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/trace/ ./internal/cache/ ./internal/experiments/
+
+# bench runs the cache-replay benchmarks with -benchmem and records the
+# result in BENCH_cache.json (simrefs/s, allocs/op) so the simulator's
+# perf trajectory is tracked per PR. BENCH_COUNT=5 for quieter numbers.
+bench:
+	sh scripts/bench_cache.sh BENCH_cache.json
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -202,6 +202,33 @@ func BenchmarkReplayFanOut(b *testing.B) {
 	b.ReportMetric(float64(tr.Len()*len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "simrefs/s")
 }
 
+// BenchmarkReplaySteadyState measures the pure kernel: one warm
+// simulator per configuration reused across iterations, so simulator
+// construction is excluded and the -benchmem columns show the
+// steady-state replay cost (0 allocs/op with the flat kernel).
+func BenchmarkReplaySteadyState(b *testing.B) {
+	bm, _ := BenchmarkByName("qsort")
+	tr, err := TraceBenchmark(bm, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := replayBenchConfigs(4)
+	sims := make([]*CacheSim, len(cfgs))
+	for i, cfg := range cfgs {
+		if sims[i], err = NewCacheSim(cfg); err != nil {
+			b.Fatal(err)
+		}
+		tr.Replay(sims[i]) // warm: caches and directory reach steady state
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sim := range sims {
+			tr.Replay(sim)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "simrefs/s")
+}
+
 // BenchmarkPerBenchmarkParallel runs each paper benchmark at 8 PEs
 // (the paper's Table 2 configuration), reporting simulated speedup.
 func BenchmarkPerBenchmarkParallel(b *testing.B) {

@@ -10,12 +10,21 @@
 // -sweep walks the trace once (not once per configuration), feeding
 // every protocol × size simulator concurrently through the streaming
 // fan-out pipeline; -par bounds the simulators per pass.
+//
+// -cpuprofile and -memprofile write pprof profiles of the replay, so a
+// hot-path regression in the simulator kernel can be diagnosed straight
+// from the shipped binary:
+//
+//	cachesim -cpuprofile cpu.out -sweep -pes 8 trace.rwt
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 )
@@ -37,6 +46,8 @@ func main() {
 		alloc    = flag.String("allocate", "paper", "write-allocate policy: paper | yes | no")
 		sweep    = flag.Bool("sweep", false, "sweep cache sizes 64..8192 over all protocols")
 		par      = flag.Int("par", 0, "max cache simulators per trace pass in -sweep (0 = all in one pass)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after replay) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -55,13 +66,8 @@ func main() {
 	}
 	fmt.Printf("trace: %d references\n", tr.Len())
 
-	if *sweep {
-		runSweep(tr, *pes, *line, *par)
-		return
-	}
-
 	proto, ok := protocols[*protoStr]
-	if !ok {
+	if !ok && !*sweep {
 		fatal(fmt.Errorf("unknown protocol %q", *protoStr))
 	}
 	wa := rapwam.PaperWriteAllocate(proto, *size)
@@ -74,6 +80,18 @@ func main() {
 	default:
 		fatal(fmt.Errorf("bad -allocate %q", *alloc))
 	}
+
+	// Profiling starts only after all flag validation, and fatal()
+	// invokes the stop hook, so cpu.out is never left truncated.
+	stopProfiles = startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
+
+	if *sweep {
+		runSweep(tr, *pes, *line, *par)
+		stopProfiles()
+		return
+	}
+
 	st, err := rapwam.SimulateCache(tr, rapwam.CacheConfig{
 		PEs: *pes, SizeWords: *size, LineWords: *line,
 		Protocol: proto, WriteAllocate: wa,
@@ -87,6 +105,47 @@ func main() {
 	fmt.Printf("bus words:      %d (fills %d, write-backs %d, write-throughs %d, updates %d)\n",
 		st.BusWords, st.LineFills, st.WriteBacks, st.WriteThroughs, st.Updates)
 	fmt.Printf("invalidations:  %d\n", st.Invalidations)
+	stopProfiles()
+}
+
+// stopProfiles is set once profiling starts; fatal() runs it so an
+// error exit still flushes a valid CPU profile.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling and returns a function that stops
+// it and writes the heap profile; the returned function is idempotent
+// so it can run on the normal path, via defer, and from fatal.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // report live steady-state heap, not transients
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
 }
 
 // runSweep simulates the whole protocol × size grid with the streaming
@@ -142,6 +201,7 @@ func runSweep(tr *rapwam.Trace, pes, line, par int) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "cachesim:", err)
 	os.Exit(1)
 }

@@ -1,208 +1,212 @@
 package cache
 
-// store is the per-PE line container: fully associative (the paper's
-// model) or set-associative (the hardware-realism extension).
-type store interface {
-	lookup(line int32) *entry
-	touch(e *entry)
-	insert(line int32, st state) (victim *entry)
-	invalidate(line int32) bool
-	len() int
-	forEach(f func(*entry))
-}
-
 // assocCache is a fully associative cache with perfect LRU replacement,
 // matching the paper's cache model ("Caches are modeled as fully
-// associative memories with perfect LRU replacement"). It is a hash map
-// from line address to entry plus an intrusive doubly-linked LRU list.
+// associative memories with perfect LRU replacement").
+//
+// The layout is a flat preallocated slab of entries addressed by int32
+// index; slab slot 0 is the LRU list sentinel, so index 0 doubles as
+// the "empty" marker in the hash table. Residency is tracked by an
+// open-addressing hash table (power of two, linear probing, load
+// factor <= 0.5) whose slots carry the line key alongside the slab
+// index — a probe is a single 8-byte load with no dependent slab
+// access — and deletion backshifts the probe chain, so there are no
+// tombstones and chains never degrade over a run. LRU order is an
+// intrusive doubly-linked list threaded through the slab by index;
+// promoting an entry that is already most-recently-used is a no-op
+// (the common case on traces, where consecutive words of a line are
+// referenced back to back). No operation allocates: the slab, table
+// and free list are sized once at construction.
 type assocCache struct {
-	capacity int
-	entries  map[int32]*entry
-	lru      entry // sentinel: lru.next is most recent, lru.prev least
-	free     []*entry
+	// slab[1:] are the entries; slab[0] is the LRU sentinel
+	// (slab[0].next = MRU, slab[0].prev = LRU).
+	slab  []slabEntry
+	table []tableSlot
+	mask  uint32 // len(table) - 1
+	// mru mirrors slab[0].next so the replay kernels' already-MRU check
+	// is one header-field load instead of a slab access; unlink and
+	// pushFront keep it in sync.
+	mru  int32
+	free []int32 // slab indices not currently resident
+	n    int
 }
 
-type entry struct {
+type slabEntry struct {
 	line       int32
+	prev, next int32
 	st         state
-	prev, next *entry
+}
+
+// tableSlot is one open-addressing slot: the line key and the slab
+// index it maps to (0 = empty slot).
+type tableSlot struct {
+	line int32
+	idx  int32
 }
 
 func newAssocCache(lines int) *assocCache {
+	size := tableSizeFor(lines)
 	c := &assocCache{
-		capacity: lines,
-		entries:  make(map[int32]*entry, lines),
+		slab:  make([]slabEntry, lines+1),
+		table: make([]tableSlot, size),
+		mask:  size - 1,
+		free:  make([]int32, 0, lines),
 	}
-	c.lru.next = &c.lru
-	c.lru.prev = &c.lru
-	// Preallocate all entries up front: no allocation during simulation.
-	pool := make([]entry, lines)
-	c.free = make([]*entry, lines)
-	for i := range pool {
-		c.free[i] = &pool[i]
+	c.slab[0].prev = 0
+	c.slab[0].next = 0
+	for i := lines; i >= 1; i-- {
+		c.free = append(c.free, int32(i))
 	}
 	return c
 }
 
-// lookup returns the entry for line, or nil on miss. It does not touch
-// LRU order; callers use touch on hits.
-func (c *assocCache) lookup(line int32) *entry { return c.entries[line] }
+// slot returns the table slot holding line; the line must be resident.
+func (c *assocCache) slot(line int32) uint32 {
+	i := hashLine(line) & c.mask
+	for c.table[i].line != line || c.table[i].idx == 0 {
+		i = (i + 1) & c.mask
+	}
+	return i
+}
 
-// touch moves e to the most-recently-used position.
-func (c *assocCache) touch(e *entry) {
+func (c *assocCache) lookupIdx(line int32) int32 {
+	// The mask is rederived from the local slice length so the compiler
+	// can prove i < len(table) and drop the bounds check in the probe
+	// loop.
+	table := c.table
+	if len(table) == 0 {
+		return -1
+	}
+	mask := uint32(len(table) - 1)
+	i := hashLine(line) & mask
+	for {
+		s := table[i]
+		if s.line == line && s.idx != 0 {
+			return s.idx
+		}
+		if s.idx == 0 {
+			return -1
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (c *assocCache) access(line int32) int32 {
+	e := c.lookupIdx(line)
+	if e >= 0 && c.mru != e {
+		c.relink(e)
+	}
+	return e
+}
+
+// relink moves a resident entry to the MRU position (the slow half of
+// access; the replay kernels inline it behind their own MRU check).
+func (c *assocCache) relink(e int32) {
 	c.unlink(e)
 	c.pushFront(e)
 }
 
-func (c *assocCache) unlink(e *entry) {
-	e.prev.next = e.next
-	e.next.prev = e.prev
+func (c *assocCache) peek(line int32) int32 { return c.lookupIdx(line) }
+
+func (c *assocCache) state(h int32) state        { return c.slab[h].st }
+func (c *assocCache) setState(h int32, st state) { c.slab[h].st = st }
+
+// unlink does not refresh c.mru: every caller either pushes another
+// entry to the front right after (which sets it) or fixes it up itself
+// (invalidate).
+func (c *assocCache) unlink(e int32) {
+	p, n := c.slab[e].prev, c.slab[e].next
+	c.slab[p].next = n
+	c.slab[n].prev = p
 }
 
-func (c *assocCache) pushFront(e *entry) {
-	e.next = c.lru.next
-	e.prev = &c.lru
-	c.lru.next.prev = e
-	c.lru.next = e
+func (c *assocCache) pushFront(e int32) {
+	first := c.slab[0].next
+	c.slab[e].next = first
+	c.slab[e].prev = 0
+	c.slab[first].prev = e
+	c.slab[0].next = e
+	c.mru = e
 }
 
-// insert adds line with the given state, evicting the LRU entry if the
-// cache is full. It returns the evicted victim (with its pre-eviction
-// state) or nil. The caller must not retain the victim pointer.
-func (c *assocCache) insert(line int32, st state) *entry {
-	if e := c.entries[line]; e != nil {
-		e.st = st
-		c.touch(e)
-		return nil
+// tableInsert maps line to slab index e in the first empty probe slot.
+func (c *assocCache) tableInsert(line, e int32) {
+	i := hashLine(line) & c.mask
+	for c.table[i].idx != 0 {
+		i = (i + 1) & c.mask
 	}
-	var victim *entry
-	var e *entry
+	c.table[i] = tableSlot{line: line, idx: e}
+}
+
+// tableDelete removes the slot holding line using backshift deletion:
+// subsequent probe-chain entries whose home slot lies outside the gap
+// are moved back, so the table never accumulates tombstones.
+func (c *assocCache) tableDelete(line int32) {
+	i := c.slot(line)
+	for {
+		c.table[i] = tableSlot{}
+		j := i
+		for {
+			j = (j + 1) & c.mask
+			s := c.table[j]
+			if s.idx == 0 {
+				return
+			}
+			k := hashLine(s.line) & c.mask
+			// Move s back to i if its home slot k is cyclically
+			// outside (i, j].
+			if (j > i && (k <= i || k > j)) || (j < i && k <= i && k > j) {
+				c.table[i] = s
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// insert adds line (which must not be resident) with the given state,
+// evicting the LRU entry if the cache is full. The victim (line,
+// pre-eviction state) is returned by value.
+func (c *assocCache) insert(line int32, st state) (h, victimLine int32, victimSt state, evicted bool) {
+	var e int32
 	if len(c.free) > 0 {
 		e = c.free[len(c.free)-1]
 		c.free = c.free[:len(c.free)-1]
+		c.n++
 	} else {
 		// Evict least recently used.
-		v := c.lru.prev
-		c.unlink(v)
-		delete(c.entries, v.line)
-		victimCopy := *v
-		victim = &victimCopy
-		e = v
+		e = c.slab[0].prev
+		c.unlink(e)
+		c.tableDelete(c.slab[e].line)
+		victimLine, victimSt, evicted = c.slab[e].line, c.slab[e].st, true
 	}
-	e.line = line
-	e.st = st
-	c.entries[line] = e
+	c.slab[e].line = line
+	c.slab[e].st = st
+	c.tableInsert(line, e)
 	c.pushFront(e)
-	return victim
+	return e, victimLine, victimSt, evicted
 }
 
 // invalidate removes line if present, reporting whether it was held.
 func (c *assocCache) invalidate(line int32) bool {
-	e := c.entries[line]
-	if e == nil {
+	e := c.lookupIdx(line)
+	if e < 0 {
 		return false
 	}
 	c.unlink(e)
-	delete(c.entries, line)
+	c.mru = c.slab[0].next
+	c.tableDelete(line)
 	c.free = append(c.free, e)
+	c.n--
 	return true
 }
 
 // len returns the number of resident lines.
-func (c *assocCache) len() int { return len(c.entries) }
+func (c *assocCache) len() int { return c.n }
 
-// forEach visits every resident entry.
-func (c *assocCache) forEach(f func(*entry)) {
-	for e := c.lru.next; e != &c.lru; e = e.next {
+// forEach visits every resident entry in LRU order (most recent first).
+func (c *assocCache) forEach(f func(h int32)) {
+	for e := c.slab[0].next; e != 0; e = c.slab[e].next {
 		f(e)
-	}
-}
-
-// setAssocCache is an N-way set-associative cache with per-set LRU —
-// the hardware-realizable variant used by the associativity ablation.
-type setAssocCache struct {
-	ways int
-	sets [][]*entry // each set ordered most-recent first
-	mask int32
-	n    int
-}
-
-func newSetAssocCache(lines, ways int) *setAssocCache {
-	numSets := lines / ways
-	if numSets < 1 {
-		numSets = 1
-		ways = lines
-	}
-	return &setAssocCache{
-		ways: ways,
-		sets: make([][]*entry, numSets),
-		mask: int32(numSets - 1),
-	}
-}
-
-func (c *setAssocCache) set(line int32) int { return int(line & c.mask) }
-
-func (c *setAssocCache) lookup(line int32) *entry {
-	for _, e := range c.sets[c.set(line)] {
-		if e.line == line {
-			return e
-		}
-	}
-	return nil
-}
-
-func (c *setAssocCache) touch(e *entry) {
-	s := c.sets[c.set(e.line)]
-	for i, x := range s {
-		if x == e {
-			copy(s[1:i+1], s[:i])
-			s[0] = e
-			return
-		}
-	}
-}
-
-func (c *setAssocCache) insert(line int32, st state) *entry {
-	if e := c.lookup(line); e != nil {
-		e.st = st
-		c.touch(e)
-		return nil
-	}
-	idx := c.set(line)
-	s := c.sets[idx]
-	var victim *entry
-	if len(s) >= c.ways {
-		v := s[len(s)-1]
-		victimCopy := *v
-		victim = &victimCopy
-		s = s[:len(s)-1]
-		c.n--
-	}
-	e := &entry{line: line, st: st}
-	c.sets[idx] = append([]*entry{e}, s...)
-	c.n++
-	return victim
-}
-
-func (c *setAssocCache) invalidate(line int32) bool {
-	idx := c.set(line)
-	s := c.sets[idx]
-	for i, e := range s {
-		if e.line == line {
-			c.sets[idx] = append(s[:i], s[i+1:]...)
-			c.n--
-			return true
-		}
-	}
-	return false
-}
-
-func (c *setAssocCache) len() int { return c.n }
-
-func (c *setAssocCache) forEach(f func(*entry)) {
-	for _, s := range c.sets {
-		for _, e := range s {
-			f(e)
-		}
 	}
 }

@@ -19,10 +19,26 @@
 // the bus divided by words referenced by the processors, with a line
 // fill or dirty write-back costing LineWords words and a write-through
 // word, broadcast update or invalidation costing one word.
+//
+// # Kernel layout
+//
+// The per-reference kernel is allocation-free and pointer-free in
+// steady state. Each PE's resident lines live in flat preallocated
+// storage addressed by int32 handles — a slab plus open-addressing
+// hash table with index-based intrusive LRU links for the fully
+// associative model (assoc.go), or per-set MRU-ordered arrays rotated
+// in place for the set-associative variant (setassoc.go). A shared
+// snoop directory (directory.go) keeps a presence bitmask of holders
+// per cached line, so coherency actions visit only the PEs that
+// actually hold the line instead of scanning every cache. Batch replay
+// (batch.go) runs protocol-specialized kernels with the coherency
+// dispatch hoisted out of the per-reference loop; statistics are
+// bit-identical to the one-reference-at-a-time Sink path.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/trace"
 )
@@ -75,7 +91,8 @@ func (p Protocol) String() string {
 
 // Config parameterizes a simulation.
 type Config struct {
-	// PEs is the number of processors (and caches).
+	// PEs is the number of processors (and caches), at most 64 (the
+	// snoop directory tracks holders in a 64-bit presence mask).
 	PEs int
 	// SizeWords is the per-PE cache size in words.
 	SizeWords int
@@ -113,6 +130,9 @@ func PaperWriteAllocate(p Protocol, sizeWords int) bool {
 func (c Config) Validate() error {
 	if c.PEs <= 0 {
 		return fmt.Errorf("cache: PEs = %d, need >= 1", c.PEs)
+	}
+	if c.PEs > maxDirPEs {
+		return fmt.Errorf("cache: PEs = %d exceeds the %d-PE snoop-directory limit", c.PEs, maxDirPEs)
 	}
 	if c.LineWords <= 0 || c.LineWords&(c.LineWords-1) != 0 {
 		return fmt.Errorf("cache: LineWords = %d, need power of two >= 1", c.LineWords)
@@ -186,11 +206,18 @@ const (
 	stateModified               // dirty, only this cache
 )
 
-// Sim is a multiprocessor cache simulation. It implements trace.Sink, so
-// it can be attached directly to the engine or fed from a trace.Buffer.
+// Sim is a multiprocessor cache simulation. It implements trace.Sink
+// and trace.BatchSink, so it can be attached directly to the engine or
+// fed from a trace.Buffer; batch delivery takes the protocol-specialized
+// fast path (batch.go).
 type Sim struct {
-	cfg        Config
-	caches     []store
+	cfg    Config
+	caches []store
+	// flat mirrors caches with their concrete type when the simulation
+	// is fully associative (the paper's model); the replay kernels use
+	// it to devirtualize the per-reference store calls.
+	flat       []*assocCache
+	dir        *snoopDir // presence directory; nil for single-PE machines
 	stats      Stats
 	lineShift  uint
 	perPEBus   []int64 // bus words attributed to each PE (for bus model)
@@ -220,12 +247,20 @@ func New(cfg Config) *Sim {
 		perPERefs: make([]int64, cfg.PEs),
 	}
 	lines := cfg.SizeWords / cfg.LineWords
+	if cfg.Assoc == 0 {
+		s.flat = make([]*assocCache, cfg.PEs)
+	}
 	for i := range s.caches {
 		if cfg.Assoc > 0 {
 			s.caches[i] = newSetAssocCache(lines, cfg.Assoc)
 		} else {
-			s.caches[i] = newAssocCache(lines)
+			c := newAssocCache(lines)
+			s.flat[i] = c
+			s.caches[i] = c
 		}
+	}
+	if cfg.PEs > 1 {
+		s.dir = newSnoopDir(cfg.PEs, lines)
 	}
 	return s
 }
@@ -242,6 +277,21 @@ func (s *Sim) PerPEBusWords() []int64 { return s.perPEBus }
 // PerPERefs returns processor references per PE.
 func (s *Sim) PerPERefs() []int64 { return s.perPERefs }
 
+// busWord charges one word of bus traffic to pe (the write handlers'
+// write-through, invalidation and update cycles).
+func (s *Sim) busWord(pe int) {
+	s.stats.BusWords++
+	s.perPEBus[pe]++
+	if s.OnBus != nil {
+		s.busEvent(pe)
+	}
+}
+
+// busEvent notifies the observer of a one-word transaction.
+func (s *Sim) busEvent(pe int) {
+	s.OnBus(pe, 1, s.stats.Refs)
+}
+
 // bus charges words of bus traffic to pe.
 func (s *Sim) bus(pe int, words int64) {
 	s.stats.BusWords += words
@@ -251,93 +301,142 @@ func (s *Sim) bus(pe int, words int64) {
 	}
 }
 
-// othersHolding reports whether any cache other than pe holds the line,
-// and returns one holder whose copy is Modified (or -1).
-func (s *Sim) othersHolding(pe int, line int32) (held bool, dirtyPE int) {
-	dirtyPE = -1
-	for i, c := range s.caches {
-		if i == pe {
-			continue
-		}
-		if e := c.lookup(line); e != nil {
-			held = true
-			if e.st == stateModified {
-				dirtyPE = i
-			}
-		}
+// accessPE and setStatePE route a store operation to the concrete
+// fully associative cache when one exists, avoiding the interface
+// dispatch on the per-reference hot path; the set-associative variant
+// falls back to the store interface.
+
+func (s *Sim) accessPE(pe int, line int32) int32 {
+	if s.flat != nil {
+		return s.flat[pe].access(line)
 	}
-	return held, dirtyPE
+	return s.caches[pe].access(line)
+}
+
+func (s *Sim) setStatePE(pe int, h int32, st state) {
+	if s.flat != nil {
+		s.flat[pe].setState(h, st)
+		return
+	}
+	s.caches[pe].setState(h, st)
+}
+
+// remoteHolders returns the presence mask of caches other than pe
+// holding the line.
+func (s *Sim) remoteHolders(pe int, line int32) uint64 {
+	if s.dir == nil {
+		return 0
+	}
+	return s.dir.holders(line) &^ (1 << uint(pe))
 }
 
 // invalidateOthers removes the line from all caches except pe.
 func (s *Sim) invalidateOthers(pe int, line int32) {
-	for i, c := range s.caches {
-		if i == pe {
-			continue
-		}
-		if c.invalidate(line) {
+	if s.dir == nil {
+		return
+	}
+	slot := s.dir.find(line)
+	if slot < 0 {
+		return
+	}
+	s.invalidateOthersAt(slot, pe, line)
+}
+
+// invalidateOthersAt removes the line from all caches except pe, given
+// its directory slot (the replay kernels inline the probe and call this
+// only when some cache holds the line).
+func (s *Sim) invalidateOthersAt(slot int32, pe int, line int32) {
+	m := s.dir.holdersAt(slot) &^ (1 << uint(pe))
+	if m == 0 {
+		return
+	}
+	for mm := m; mm != 0; mm &= mm - 1 {
+		if s.caches[bits.TrailingZeros64(mm)].invalidate(line) {
 			s.stats.Invalidations++
 		}
 	}
+	s.dir.keepOnlyAt(slot, pe)
 }
 
 // updateOthers marks remote copies updated (word broadcast); they remain
 // Shared. Returns whether any remote copy existed.
 func (s *Sim) updateOthers(pe int, line int32) bool {
-	any := false
-	for i, c := range s.caches {
-		if i == pe {
-			continue
-		}
-		if e := c.lookup(line); e != nil {
-			any = true
+	m := s.remoteHolders(pe, line)
+	if m == 0 {
+		return false
+	}
+	for ; m != 0; m &= m - 1 {
+		c := s.caches[bits.TrailingZeros64(m)]
+		if h := c.peek(line); h >= 0 {
 			// Remote copy receives the word; its state stays Shared
 			// (an updated copy can never be Modified).
-			e.st = stateShared
+			c.setState(h, stateShared)
 		}
 	}
-	return any
+	return true
 }
 
 // fill inserts the line into pe's cache with the given state, charging a
-// line fetch and any write-back of the evicted victim.
-func (s *Sim) fill(pe int, line int32, st state) *entry {
+// line fetch and any write-back of the evicted victim, and returns the
+// new entry's handle.
+func (s *Sim) fill(pe int, line int32, st state) int32 {
+	// bus() is expanded manually here: fill runs on every miss and the
+	// extra call (bus exceeds the inlining budget) is measurable.
+	lw := int64(s.cfg.LineWords)
 	s.stats.LineFills++
-	s.bus(pe, int64(s.cfg.LineWords))
-	victim := s.caches[pe].insert(line, st)
-	if victim != nil && victim.st == stateModified {
-		s.stats.WriteBacks++
-		s.bus(pe, int64(s.cfg.LineWords))
+	s.stats.BusWords += lw
+	s.perPEBus[pe] += lw
+	if s.OnBus != nil {
+		s.OnBus(pe, int(lw), s.stats.Refs)
 	}
-	return s.caches[pe].lookup(line)
+	h, vLine, vSt, evicted := s.caches[pe].insert(line, st)
+	if evicted {
+		if s.dir != nil {
+			s.dir.remove(pe, vLine)
+		}
+		if vSt == stateModified {
+			s.stats.WriteBacks++
+			s.stats.BusWords += lw
+			s.perPEBus[pe] += lw
+			if s.OnBus != nil {
+				s.OnBus(pe, int(lw), s.stats.Refs)
+			}
+		}
+	}
+	if s.dir != nil {
+		s.dir.add(pe, line)
+	}
+	return h
 }
 
 // fetchCoherent performs the coherence work for a line fetch in the
 // broadcast protocols: if a remote cache holds the line Modified it
 // supplies the data and memory is updated (one extra line of traffic),
-// and the resulting local state is Shared if any remote copy remains.
+// and every remote holder sees the fetch on the bus and demotes its
+// copy to Shared, making the resulting local state Shared too.
 func (s *Sim) fetchCoherent(pe int, line int32) state {
-	held, dirtyPE := s.othersHolding(pe, line)
+	m := s.remoteHolders(pe, line)
+	if m == 0 {
+		return stateExclusive
+	}
+	dirtyPE := -1
+	for ; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		c := s.caches[i]
+		if h := c.peek(line); h >= 0 {
+			if c.state(h) == stateModified {
+				dirtyPE = i
+			}
+			c.setState(h, stateShared)
+		}
+	}
 	if dirtyPE >= 0 {
 		// Owner writes the line back (memory reflection) and keeps a
 		// now-clean shared copy.
 		s.stats.WriteBacks++
 		s.bus(dirtyPE, int64(s.cfg.LineWords))
 	}
-	if held {
-		// Every remote holder sees the fetch on the bus and demotes
-		// its copy to Shared.
-		for i, c := range s.caches {
-			if i == pe {
-				continue
-			}
-			if e := c.lookup(line); e != nil {
-				e.st = stateShared
-			}
-		}
-		return stateShared
-	}
-	return stateExclusive
+	return stateShared
 }
 
 // Add processes one reference. It implements trace.Sink.
@@ -353,160 +452,197 @@ func (s *Sim) Add(r trace.Ref) {
 	s.perPERefs[pe]++
 	if r.Op == trace.OpRead {
 		s.stats.Reads++
-		s.read(pe, line)
+		if s.accessPE(pe, line) < 0 {
+			s.readMiss(pe, line)
+		}
 	} else {
 		s.stats.Writes++
 		s.write(pe, line, r.Obj)
 	}
 }
 
-func (s *Sim) read(pe int, line int32) {
-	c := s.caches[pe]
-	if e := c.lookup(line); e != nil {
-		c.touch(e)
-		return
-	}
-	s.stats.ReadMisses++
+// readMiss services a read miss under the configured protocol.
+func (s *Sim) readMiss(pe int, line int32) {
 	switch s.cfg.Protocol {
 	case WriteThrough:
 		// Memory is always current; plain fill.
+		s.stats.ReadMisses++
 		s.fill(pe, line, stateShared)
 	case Copyback:
+		s.stats.ReadMisses++
 		s.fill(pe, line, stateExclusive)
 	case WriteInBroadcast, WriteThroughBroadcast:
-		st := s.fetchCoherent(pe, line)
-		s.fill(pe, line, st)
+		s.readMissBroadcast(pe, line)
 	case Hybrid:
-		// Memory is consistent for global data (written through) and
-		// local data is never remotely cached, so a plain fill
-		// suffices; remote state is unaffected.
-		held, _ := s.othersHolding(pe, line)
-		st := stateExclusive
-		if held {
-			st = stateShared
-		}
-		s.fill(pe, line, st)
+		s.readMissHybrid(pe, line)
 	}
 }
 
+// readMissBroadcast services a read miss under either broadcast
+// protocol (the replay kernels call it directly, skipping the protocol
+// switch).
+func (s *Sim) readMissBroadcast(pe int, line int32) {
+	s.stats.ReadMisses++
+	st := s.fetchCoherent(pe, line)
+	s.fill(pe, line, st)
+}
+
+// readMissHybrid services a read miss under the hybrid protocol:
+// memory is consistent for global data (written through) and local
+// data is never remotely cached, so a plain fill suffices; remote
+// state is unaffected.
+func (s *Sim) readMissHybrid(pe int, line int32) {
+	s.stats.ReadMisses++
+	st := stateExclusive
+	if s.remoteHolders(pe, line) != 0 {
+		st = stateShared
+	}
+	s.fill(pe, line, st)
+}
+
+// write services a write reference (hit or miss) by dispatching to the
+// protocol's write handler.
 func (s *Sim) write(pe int, line int32, obj trace.ObjType) {
-	c := s.caches[pe]
-	e := c.lookup(line)
-	if e == nil {
+	h := s.accessPE(pe, line)
+	if h < 0 {
 		s.stats.WriteMisses++
-	} else {
-		c.touch(e)
 	}
 	switch s.cfg.Protocol {
 	case WriteThrough:
-		// Every write appears on the bus as one word; the bus write
-		// also serves as the invalidation signal.
+		s.writeThrough(pe, line, h)
+	case Copyback:
+		s.writeCopyback(pe, line, h)
+	case WriteInBroadcast:
+		s.writeInBroadcast(pe, line, h)
+	case WriteThroughBroadcast:
+		s.writeUpdate(pe, line, h)
+	case Hybrid:
+		s.writeHybrid(pe, line, h, obj)
+	}
+}
+
+// writeThrough handles a write under the conventional write-through
+// protocol: every write appears on the bus as one word; the bus write
+// also serves as the invalidation signal. h is the handle of the local
+// copy (already promoted to MRU), or -1 on a write miss.
+func (s *Sim) writeThrough(pe int, line int32, h int32) {
+	s.stats.WriteThroughs++
+	s.busWord(pe)
+	s.invalidateOthers(pe, line)
+	if h < 0 && s.cfg.WriteAllocate {
+		s.fill(pe, line, stateShared)
+	}
+}
+
+// writeCopyback handles a write under the plain copyback protocol.
+func (s *Sim) writeCopyback(pe int, line int32, h int32) {
+	if h >= 0 {
+		s.setStatePE(pe, h, stateModified)
+		return
+	}
+	if s.cfg.WriteAllocate {
+		s.fill(pe, line, stateModified)
+	} else {
 		s.stats.WriteThroughs++
-		s.bus(pe, 1)
+		s.busWord(pe)
+	}
+}
+
+// writeInBroadcast handles a write under the invalidation-based
+// broadcast protocol.
+func (s *Sim) writeInBroadcast(pe int, line int32, h int32) {
+	if h >= 0 {
+		c := s.caches[pe]
+		switch c.state(h) {
+		case stateModified:
+			// silent
+		case stateExclusive:
+			c.setState(h, stateModified)
+		case stateShared:
+			// One bus cycle invalidates all remote copies.
+			s.busWord(pe)
+			s.invalidateOthers(pe, line)
+			c.setState(h, stateModified)
+		}
+		return
+	}
+	if s.cfg.WriteAllocate {
+		// Read-for-ownership: fetch then invalidate remote copies.
+		s.fetchCoherent(pe, line)
 		s.invalidateOthers(pe, line)
-		if e == nil && s.cfg.WriteAllocate {
+		s.fill(pe, line, stateModified)
+	} else {
+		// Word goes to memory; the bus write invalidates copies.
+		s.stats.WriteThroughs++
+		s.busWord(pe)
+		s.invalidateOthers(pe, line)
+	}
+}
+
+// writeUpdate handles a write under the update-based write-through
+// broadcast protocol.
+func (s *Sim) writeUpdate(pe int, line int32, h int32) {
+	if h >= 0 {
+		c := s.caches[pe]
+		switch c.state(h) {
+		case stateModified:
+			// private dirty: silent
+		case stateExclusive:
+			c.setState(h, stateModified)
+		case stateShared:
+			// Broadcast the word to remote copies and memory.
+			s.stats.Updates++
+			s.busWord(pe)
+			if !s.updateOthers(pe, line) {
+				// No remote copy after all: promote to private.
+				c.setState(h, stateExclusive)
+			}
+		}
+		return
+	}
+	if s.cfg.WriteAllocate {
+		st := s.fetchCoherent(pe, line)
+		nh := s.fill(pe, line, st)
+		if st == stateShared {
+			s.stats.Updates++
+			s.busWord(pe)
+			s.updateOthers(pe, line)
+		} else {
+			s.setStatePE(pe, nh, stateModified)
+		}
+	} else {
+		s.stats.WriteThroughs++
+		s.busWord(pe)
+		s.updateOthers(pe, line)
+	}
+}
+
+// writeHybrid handles a write under the paper's hybrid protocol.
+func (s *Sim) writeHybrid(pe int, line int32, h int32, obj trace.ObjType) {
+	if obj.Global() {
+		// Global data is written through so that shared memory
+		// stays consistent; the bus write invalidates remote
+		// copies. A present line is updated but never dirtied by
+		// a global write.
+		s.stats.WriteThroughs++
+		s.busWord(pe)
+		s.invalidateOthers(pe, line)
+		if h < 0 && s.cfg.WriteAllocate {
 			s.fill(pe, line, stateShared)
 		}
-
-	case Copyback:
-		if e != nil {
-			e.st = stateModified
-			return
-		}
-		if s.cfg.WriteAllocate {
-			s.fill(pe, line, stateModified)
-		} else {
-			s.stats.WriteThroughs++
-			s.bus(pe, 1)
-		}
-
-	case WriteInBroadcast:
-		if e != nil {
-			switch e.st {
-			case stateModified:
-				// silent
-			case stateExclusive:
-				e.st = stateModified
-			case stateShared:
-				// One bus cycle invalidates all remote copies.
-				s.bus(pe, 1)
-				s.invalidateOthers(pe, line)
-				e.st = stateModified
-			}
-			return
-		}
-		if s.cfg.WriteAllocate {
-			// Read-for-ownership: fetch then invalidate remote copies.
-			s.fetchCoherent(pe, line)
-			s.invalidateOthers(pe, line)
-			s.fill(pe, line, stateModified)
-		} else {
-			// Word goes to memory; the bus write invalidates copies.
-			s.stats.WriteThroughs++
-			s.bus(pe, 1)
-			s.invalidateOthers(pe, line)
-		}
-
-	case WriteThroughBroadcast:
-		if e != nil {
-			switch e.st {
-			case stateModified:
-				// private dirty: silent
-			case stateExclusive:
-				e.st = stateModified
-			case stateShared:
-				// Broadcast the word to remote copies and memory.
-				s.stats.Updates++
-				s.bus(pe, 1)
-				if !s.updateOthers(pe, line) {
-					// No remote copy after all: promote to private.
-					e.st = stateExclusive
-				}
-			}
-			return
-		}
-		if s.cfg.WriteAllocate {
-			st := s.fetchCoherent(pe, line)
-			ne := s.fill(pe, line, st)
-			if st == stateShared {
-				s.stats.Updates++
-				s.bus(pe, 1)
-				s.updateOthers(pe, line)
-			} else if ne != nil {
-				ne.st = stateModified
-			}
-		} else {
-			s.stats.WriteThroughs++
-			s.bus(pe, 1)
-			s.updateOthers(pe, line)
-		}
-
-	case Hybrid:
-		if obj.Global() {
-			// Global data is written through so that shared memory
-			// stays consistent; the bus write invalidates remote
-			// copies. A present line is updated but never dirtied by
-			// a global write.
-			s.stats.WriteThroughs++
-			s.bus(pe, 1)
-			s.invalidateOthers(pe, line)
-			if e == nil && s.cfg.WriteAllocate {
-				s.fill(pe, line, stateShared)
-			}
-			return
-		}
-		// Local data: copyback. Only the owner ever touches it, so no
-		// coherency actions are needed.
-		if e != nil {
-			e.st = stateModified
-			return
-		}
-		if s.cfg.WriteAllocate {
-			s.fill(pe, line, stateModified)
-		} else {
-			s.stats.WriteThroughs++
-			s.bus(pe, 1)
-		}
+		return
+	}
+	// Local data: copyback. Only the owner ever touches it, so no
+	// coherency actions are needed.
+	if h >= 0 {
+		s.setStatePE(pe, h, stateModified)
+		return
+	}
+	if s.cfg.WriteAllocate {
+		s.fill(pe, line, stateModified)
+	} else {
+		s.stats.WriteThroughs++
+		s.busWord(pe)
 	}
 }
 
@@ -521,11 +657,11 @@ func (s *Sim) Flush() {
 }
 
 func (s *Sim) flushPE(pe int, c store) {
-	c.forEach(func(e *entry) {
-		if e.st == stateModified {
+	c.forEach(func(h int32) {
+		if c.state(h) == stateModified {
 			s.stats.WriteBacks++
 			s.bus(pe, int64(s.cfg.LineWords))
-			e.st = stateShared
+			c.setState(h, stateShared)
 		}
 	})
 }

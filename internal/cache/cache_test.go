@@ -305,11 +305,11 @@ func TestSingleCacheNeverExceedsCapacity(t *testing.T) {
 			line := int32(rng.Intn(64))
 			switch rng.Intn(3) {
 			case 0:
-				c.insert(line, stateShared)
-			case 1:
-				if e := c.lookup(line); e != nil {
-					c.touch(e)
+				if c.peek(line) < 0 {
+					c.insert(line, stateShared)
 				}
+			case 1:
+				c.access(line)
 			case 2:
 				c.invalidate(line)
 			}
@@ -353,9 +353,7 @@ func TestLRUMatchesReferenceModel(t *testing.T) {
 				continue
 			}
 			// access (insert or touch)
-			if e := c.lookup(line); e != nil {
-				c.touch(e)
-			} else {
+			if c.access(line) < 0 {
 				c.insert(line, stateShared)
 			}
 			if idx := modelHas(line); idx >= 0 {
@@ -363,14 +361,14 @@ func TestLRUMatchesReferenceModel(t *testing.T) {
 			} else if len(model) == 8 {
 				evicted := model[len(model)-1]
 				model = model[:len(model)-1]
-				if c.lookup(evicted) != nil {
+				if c.peek(evicted) >= 0 {
 					return false
 				}
 			}
 			model = append([]int32{line}, model...)
 			// every model line must be present
 			for _, l := range model {
-				if c.lookup(l) == nil {
+				if c.peek(l) < 0 {
 					return false
 				}
 			}

@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/trace"
+)
+
+// Golden-parity tests: the flat kernel (slab/open-addressing stores,
+// snoop directory, protocol-specialized batch replay) must produce
+// statistics bit-identical to the retained naive reference simulator
+// (refsim_test.go) for every protocol × allocation policy ×
+// associativity on real engine traces — including the per-PE bus and
+// reference vectors and, on the observed path, the exact OnBus event
+// sequence.
+
+// parityTrace memoizes one engine trace per (bench, pes, sequential).
+var parityTraces = map[string]*trace.Buffer{}
+
+func parityTrace(t *testing.T, name string, pes int, sequential bool) *trace.Buffer {
+	t.Helper()
+	key := fmt.Sprintf("%s/%d/%v", name, pes, sequential)
+	if buf, ok := parityTraces[key]; ok {
+		return buf
+	}
+	b, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	buf, _, err := bench.Trace(b, pes, sequential)
+	if err != nil {
+		t.Fatalf("tracing %s: %v", name, err)
+	}
+	parityTraces[key] = buf
+	return buf
+}
+
+// busEvent records one OnBus observation.
+type busEvent struct {
+	pe, words int
+	refIndex  int64
+}
+
+// runRef replays buf through the reference simulator, recording OnBus
+// events when record is set.
+func runRef(buf *trace.Buffer, cfg Config, record bool) (Stats, []int64, []int64, []busEvent) {
+	s := newRefSim(cfg)
+	var events []busEvent
+	if record {
+		s.OnBus = func(pe, words int, refIndex int64) {
+			events = append(events, busEvent{pe, words, refIndex})
+		}
+	}
+	for _, r := range buf.Refs {
+		s.Add(r)
+	}
+	return s.stats, s.perPEBus, s.perPERefs, events
+}
+
+// runNew replays buf through the production simulator. With record set
+// it attaches an OnBus observer (exercising the per-reference path);
+// without, it uses batch delivery (the protocol-specialized kernels).
+func runNew(buf *trace.Buffer, cfg Config, record bool) (Stats, []int64, []int64, []busEvent) {
+	s := New(cfg)
+	var events []busEvent
+	if record {
+		s.OnBus = func(pe, words int, refIndex int64) {
+			events = append(events, busEvent{pe, words, refIndex})
+		}
+	}
+	s.AddBatch(buf.Refs)
+	return s.Stats(), s.PerPEBusWords(), s.PerPERefs(), events
+}
+
+func eqVec(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parityConfigs enumerates the full grid for one protocol.
+func parityConfigs(p Protocol, pes int) []Config {
+	var cfgs []Config
+	for _, wa := range []bool{false, true} {
+		for _, assoc := range []int{0, 2, 4} {
+			cfgs = append(cfgs, Config{
+				PEs: pes, SizeWords: 256, LineWords: 4,
+				Protocol: p, WriteAllocate: wa, Assoc: assoc,
+			})
+		}
+	}
+	return cfgs
+}
+
+func TestGoldenParityAgainstReferenceSim(t *testing.T) {
+	for _, benchName := range []string{"deriv", "qsort"} {
+		for _, p := range Protocols() {
+			pes, sequential := 4, false
+			if p == Copyback {
+				pes, sequential = 1, true
+			}
+			buf := parityTrace(t, benchName, pes, sequential)
+			for _, cfg := range parityConfigs(p, pes) {
+				cfg := cfg
+				name := fmt.Sprintf("%s/%v/wa=%v/assoc=%d", benchName, p, cfg.WriteAllocate, cfg.Assoc)
+				t.Run(name, func(t *testing.T) {
+					wantStats, wantBus, wantRefs, wantEvents := runRef(buf, cfg, true)
+
+					// Batch path (protocol-specialized kernels).
+					gotStats, gotBus, gotRefs, _ := runNew(buf, cfg, false)
+					if gotStats != wantStats {
+						t.Errorf("batch stats differ:\n got %+v\nwant %+v", gotStats, wantStats)
+					}
+					if !eqVec(gotBus, wantBus) {
+						t.Errorf("batch per-PE bus differ:\n got %v\nwant %v", gotBus, wantBus)
+					}
+					if !eqVec(gotRefs, wantRefs) {
+						t.Errorf("batch per-PE refs differ:\n got %v\nwant %v", gotRefs, wantRefs)
+					}
+
+					// Observed path (per-reference delivery, OnBus set):
+					// the full bus-event sequence must match.
+					gotStats2, _, _, gotEvents := runNew(buf, cfg, true)
+					if gotStats2 != wantStats {
+						t.Errorf("observed-path stats differ:\n got %+v\nwant %+v", gotStats2, wantStats)
+					}
+					if len(gotEvents) != len(wantEvents) {
+						t.Fatalf("OnBus events: got %d, want %d", len(gotEvents), len(wantEvents))
+					}
+					for i := range gotEvents {
+						if gotEvents[i] != wantEvents[i] {
+							t.Fatalf("OnBus event %d: got %+v, want %+v", i, gotEvents[i], wantEvents[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParityAfterFlush extends parity through the optional end-of-run
+// flush accounting.
+func TestParityAfterFlush(t *testing.T) {
+	buf := parityTrace(t, "qsort", 4, false)
+	for _, p := range []Protocol{WriteInBroadcast, WriteThroughBroadcast, Hybrid} {
+		for _, assoc := range []int{0, 4} {
+			cfg := Config{PEs: 4, SizeWords: 256, LineWords: 4, Protocol: p, WriteAllocate: true, Assoc: assoc}
+			ref := newRefSim(cfg)
+			for _, r := range buf.Refs {
+				ref.Add(r)
+			}
+			ref.Flush()
+			sim := New(cfg)
+			sim.AddBatch(buf.Refs)
+			sim.Flush()
+			if sim.Stats() != ref.stats {
+				t.Errorf("%v assoc=%d: post-flush stats differ:\n got %+v\nwant %+v",
+					p, assoc, sim.Stats(), ref.stats)
+			}
+		}
+	}
+}
+
+// TestDirectoryStaysInSync cross-checks the snoop directory against the
+// per-PE stores after a full replay: every directory entry must match
+// residency exactly.
+func TestDirectoryStaysInSync(t *testing.T) {
+	buf := parityTrace(t, "qsort", 4, false)
+	for _, p := range []Protocol{WriteThrough, WriteInBroadcast, WriteThroughBroadcast, Hybrid} {
+		cfg := Config{PEs: 4, SizeWords: 256, LineWords: 4, Protocol: p, WriteAllocate: true}
+		sim := New(cfg)
+		sim.AddBatch(buf.Refs)
+		resident := 0
+		for pe, c := range sim.caches {
+			c.forEach(func(h int32) {
+				resident++
+				line := sim.flat[pe].slab[h].line
+				if sim.dir.holders(line)&(1<<uint(pe)) == 0 {
+					t.Fatalf("%v: pe %d holds line %d but directory does not know", p, pe, line)
+				}
+			})
+		}
+		// Every directory bit must be backed by a resident line: the
+		// total popcount equals the resident-line count.
+		bits := 0
+		for _, s := range sim.dir.table {
+			for m := s.mask; m != 0; m &= m - 1 {
+				bits++
+			}
+		}
+		if bits != resident {
+			t.Errorf("%v: directory tracks %d holder bits, caches hold %d lines", p, bits, resident)
+		}
+	}
+}
+
+// TestSteadyStateReplayAllocsZero is the allocation regression test the
+// kernel exists for: once a simulator is warm, replaying traces through
+// it must not allocate at all, on either the batch or the per-reference
+// path, for any protocol.
+func TestSteadyStateReplayAllocsZero(t *testing.T) {
+	buf := parityTrace(t, "qsort", 4, false)
+	seqBuf := parityTrace(t, "qsort", 1, true)
+	for _, p := range Protocols() {
+		refs := buf.Refs
+		pes := 4
+		if p == Copyback {
+			refs = seqBuf.Refs
+			pes = 1
+		}
+		for _, assoc := range []int{0, 4} {
+			cfg := Config{PEs: pes, SizeWords: 256, LineWords: 4, Protocol: p, WriteAllocate: true, Assoc: assoc}
+			sim := New(cfg)
+			sim.AddBatch(refs) // warm: caches and directory reach steady state
+			if n := testing.AllocsPerRun(3, func() { sim.AddBatch(refs) }); n != 0 {
+				t.Errorf("%v assoc=%d: batch replay allocates %.0f times per run, want 0", p, assoc, n)
+			}
+			if n := testing.AllocsPerRun(3, func() {
+				for _, r := range refs[:4096] {
+					sim.Add(r)
+				}
+			}); n != 0 {
+				t.Errorf("%v assoc=%d: per-reference replay allocates %.0f times per run, want 0", p, assoc, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package cache
+
+import "repro/internal/trace"
+
+// This file retains the pre-optimization simulator — Go map + pointer
+// LRU stores, O(PEs) snoop scans, one reference at a time — as the
+// naive reference model for the golden-parity tests (parity_test.go).
+// It is deliberately the seed implementation, only renamed: the flat
+// kernel in cache.go/batch.go must reproduce its statistics bit for
+// bit, including the per-PE vectors and the OnBus event sequence.
+
+type refStore interface {
+	lookup(line int32) *refEntry
+	touch(e *refEntry)
+	insert(line int32, st state) (victim *refEntry)
+	invalidate(line int32) bool
+	forEach(f func(*refEntry))
+}
+
+type refEntry struct {
+	line       int32
+	st         state
+	prev, next *refEntry
+}
+
+// refAssocCache is the seed's fully associative store: a hash map from
+// line to entry plus an intrusive doubly-linked LRU list.
+type refAssocCache struct {
+	capacity int
+	entries  map[int32]*refEntry
+	lru      refEntry
+	free     []*refEntry
+}
+
+func newRefAssocCache(lines int) *refAssocCache {
+	c := &refAssocCache{
+		capacity: lines,
+		entries:  make(map[int32]*refEntry, lines),
+	}
+	c.lru.next = &c.lru
+	c.lru.prev = &c.lru
+	pool := make([]refEntry, lines)
+	c.free = make([]*refEntry, lines)
+	for i := range pool {
+		c.free[i] = &pool[i]
+	}
+	return c
+}
+
+func (c *refAssocCache) lookup(line int32) *refEntry { return c.entries[line] }
+
+func (c *refAssocCache) touch(e *refEntry) {
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *refAssocCache) unlink(e *refEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *refAssocCache) pushFront(e *refEntry) {
+	e.next = c.lru.next
+	e.prev = &c.lru
+	c.lru.next.prev = e
+	c.lru.next = e
+}
+
+func (c *refAssocCache) insert(line int32, st state) *refEntry {
+	if e := c.entries[line]; e != nil {
+		e.st = st
+		c.touch(e)
+		return nil
+	}
+	var victim *refEntry
+	var e *refEntry
+	if len(c.free) > 0 {
+		e = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		v := c.lru.prev
+		c.unlink(v)
+		delete(c.entries, v.line)
+		victimCopy := *v
+		victim = &victimCopy
+		e = v
+	}
+	e.line = line
+	e.st = st
+	c.entries[line] = e
+	c.pushFront(e)
+	return victim
+}
+
+func (c *refAssocCache) invalidate(line int32) bool {
+	e := c.entries[line]
+	if e == nil {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, line)
+	c.free = append(c.free, e)
+	return true
+}
+
+func (c *refAssocCache) forEach(f func(*refEntry)) {
+	for e := c.lru.next; e != &c.lru; e = e.next {
+		f(e)
+	}
+}
+
+// refSetAssocCache is the seed's N-way store: per-set slices of entry
+// pointers, most-recent first, rebuilt with append on every insert.
+type refSetAssocCache struct {
+	ways int
+	sets [][]*refEntry
+	mask int32
+}
+
+func newRefSetAssocCache(lines, ways int) *refSetAssocCache {
+	numSets := lines / ways
+	if numSets < 1 {
+		numSets = 1
+		ways = lines
+	}
+	return &refSetAssocCache{
+		ways: ways,
+		sets: make([][]*refEntry, numSets),
+		mask: int32(numSets - 1),
+	}
+}
+
+func (c *refSetAssocCache) set(line int32) int { return int(line & c.mask) }
+
+func (c *refSetAssocCache) lookup(line int32) *refEntry {
+	for _, e := range c.sets[c.set(line)] {
+		if e.line == line {
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *refSetAssocCache) touch(e *refEntry) {
+	s := c.sets[c.set(e.line)]
+	for i, x := range s {
+		if x == e {
+			copy(s[1:i+1], s[:i])
+			s[0] = e
+			return
+		}
+	}
+}
+
+func (c *refSetAssocCache) insert(line int32, st state) *refEntry {
+	if e := c.lookup(line); e != nil {
+		e.st = st
+		c.touch(e)
+		return nil
+	}
+	idx := c.set(line)
+	s := c.sets[idx]
+	var victim *refEntry
+	if len(s) >= c.ways {
+		v := s[len(s)-1]
+		victimCopy := *v
+		victim = &victimCopy
+		s = s[:len(s)-1]
+	}
+	e := &refEntry{line: line, st: st}
+	c.sets[idx] = append([]*refEntry{e}, s...)
+	return victim
+}
+
+func (c *refSetAssocCache) invalidate(line int32) bool {
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i, e := range s {
+		if e.line == line {
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refSetAssocCache) forEach(f func(*refEntry)) {
+	for _, s := range c.sets {
+		for _, e := range s {
+			f(e)
+		}
+	}
+}
+
+// refSim is the seed simulator: same protocols, same statistics, no
+// snoop directory (every coherency action scans all PEs) and no batch
+// path.
+type refSim struct {
+	cfg       Config
+	caches    []refStore
+	stats     Stats
+	lineShift uint
+	perPEBus  []int64
+	perPERefs []int64
+	OnBus     func(pe, words int, refIndex int64)
+}
+
+func newRefSim(cfg Config) *refSim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineWords {
+		shift++
+	}
+	s := &refSim{
+		cfg:       cfg,
+		caches:    make([]refStore, cfg.PEs),
+		lineShift: shift,
+		perPEBus:  make([]int64, cfg.PEs),
+		perPERefs: make([]int64, cfg.PEs),
+	}
+	lines := cfg.SizeWords / cfg.LineWords
+	for i := range s.caches {
+		if cfg.Assoc > 0 {
+			s.caches[i] = newRefSetAssocCache(lines, cfg.Assoc)
+		} else {
+			s.caches[i] = newRefAssocCache(lines)
+		}
+	}
+	return s
+}
+
+func (s *refSim) bus(pe int, words int64) {
+	s.stats.BusWords += words
+	s.perPEBus[pe] += words
+	if s.OnBus != nil {
+		s.OnBus(pe, int(words), s.stats.Refs)
+	}
+}
+
+func (s *refSim) othersHolding(pe int, line int32) (held bool, dirtyPE int) {
+	dirtyPE = -1
+	for i, c := range s.caches {
+		if i == pe {
+			continue
+		}
+		if e := c.lookup(line); e != nil {
+			held = true
+			if e.st == stateModified {
+				dirtyPE = i
+			}
+		}
+	}
+	return held, dirtyPE
+}
+
+func (s *refSim) invalidateOthers(pe int, line int32) {
+	for i, c := range s.caches {
+		if i == pe {
+			continue
+		}
+		if c.invalidate(line) {
+			s.stats.Invalidations++
+		}
+	}
+}
+
+func (s *refSim) updateOthers(pe int, line int32) bool {
+	any := false
+	for i, c := range s.caches {
+		if i == pe {
+			continue
+		}
+		if e := c.lookup(line); e != nil {
+			any = true
+			e.st = stateShared
+		}
+	}
+	return any
+}
+
+func (s *refSim) fill(pe int, line int32, st state) *refEntry {
+	s.stats.LineFills++
+	s.bus(pe, int64(s.cfg.LineWords))
+	victim := s.caches[pe].insert(line, st)
+	if victim != nil && victim.st == stateModified {
+		s.stats.WriteBacks++
+		s.bus(pe, int64(s.cfg.LineWords))
+	}
+	return s.caches[pe].lookup(line)
+}
+
+func (s *refSim) fetchCoherent(pe int, line int32) state {
+	held, dirtyPE := s.othersHolding(pe, line)
+	if dirtyPE >= 0 {
+		s.stats.WriteBacks++
+		s.bus(dirtyPE, int64(s.cfg.LineWords))
+	}
+	if held {
+		for i, c := range s.caches {
+			if i == pe {
+				continue
+			}
+			if e := c.lookup(line); e != nil {
+				e.st = stateShared
+			}
+		}
+		return stateShared
+	}
+	return stateExclusive
+}
+
+func (s *refSim) Add(r trace.Ref) {
+	pe := int(r.PE)
+	if pe >= s.cfg.PEs {
+		return
+	}
+	line := int32(r.Addr >> s.lineShift)
+	s.stats.Refs++
+	s.perPERefs[pe]++
+	if r.Op == trace.OpRead {
+		s.stats.Reads++
+		s.read(pe, line)
+	} else {
+		s.stats.Writes++
+		s.write(pe, line, r.Obj)
+	}
+}
+
+func (s *refSim) read(pe int, line int32) {
+	c := s.caches[pe]
+	if e := c.lookup(line); e != nil {
+		c.touch(e)
+		return
+	}
+	s.stats.ReadMisses++
+	switch s.cfg.Protocol {
+	case WriteThrough:
+		s.fill(pe, line, stateShared)
+	case Copyback:
+		s.fill(pe, line, stateExclusive)
+	case WriteInBroadcast, WriteThroughBroadcast:
+		st := s.fetchCoherent(pe, line)
+		s.fill(pe, line, st)
+	case Hybrid:
+		held, _ := s.othersHolding(pe, line)
+		st := stateExclusive
+		if held {
+			st = stateShared
+		}
+		s.fill(pe, line, st)
+	}
+}
+
+func (s *refSim) write(pe int, line int32, obj trace.ObjType) {
+	c := s.caches[pe]
+	e := c.lookup(line)
+	if e == nil {
+		s.stats.WriteMisses++
+	} else {
+		c.touch(e)
+	}
+	switch s.cfg.Protocol {
+	case WriteThrough:
+		s.stats.WriteThroughs++
+		s.bus(pe, 1)
+		s.invalidateOthers(pe, line)
+		if e == nil && s.cfg.WriteAllocate {
+			s.fill(pe, line, stateShared)
+		}
+
+	case Copyback:
+		if e != nil {
+			e.st = stateModified
+			return
+		}
+		if s.cfg.WriteAllocate {
+			s.fill(pe, line, stateModified)
+		} else {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+		}
+
+	case WriteInBroadcast:
+		if e != nil {
+			switch e.st {
+			case stateModified:
+			case stateExclusive:
+				e.st = stateModified
+			case stateShared:
+				s.bus(pe, 1)
+				s.invalidateOthers(pe, line)
+				e.st = stateModified
+			}
+			return
+		}
+		if s.cfg.WriteAllocate {
+			s.fetchCoherent(pe, line)
+			s.invalidateOthers(pe, line)
+			s.fill(pe, line, stateModified)
+		} else {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+			s.invalidateOthers(pe, line)
+		}
+
+	case WriteThroughBroadcast:
+		if e != nil {
+			switch e.st {
+			case stateModified:
+			case stateExclusive:
+				e.st = stateModified
+			case stateShared:
+				s.stats.Updates++
+				s.bus(pe, 1)
+				if !s.updateOthers(pe, line) {
+					e.st = stateExclusive
+				}
+			}
+			return
+		}
+		if s.cfg.WriteAllocate {
+			st := s.fetchCoherent(pe, line)
+			ne := s.fill(pe, line, st)
+			if st == stateShared {
+				s.stats.Updates++
+				s.bus(pe, 1)
+				s.updateOthers(pe, line)
+			} else if ne != nil {
+				ne.st = stateModified
+			}
+		} else {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+			s.updateOthers(pe, line)
+		}
+
+	case Hybrid:
+		if obj.Global() {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+			s.invalidateOthers(pe, line)
+			if e == nil && s.cfg.WriteAllocate {
+				s.fill(pe, line, stateShared)
+			}
+			return
+		}
+		if e != nil {
+			e.st = stateModified
+			return
+		}
+		if s.cfg.WriteAllocate {
+			s.fill(pe, line, stateModified)
+		} else {
+			s.stats.WriteThroughs++
+			s.bus(pe, 1)
+		}
+	}
+}
+
+func (s *refSim) Flush() {
+	for pe, c := range s.caches {
+		c.forEach(func(e *refEntry) {
+			if e.st == stateModified {
+				s.stats.WriteBacks++
+				s.bus(pe, int64(s.cfg.LineWords))
+				e.st = stateShared
+			}
+		})
+	}
+}

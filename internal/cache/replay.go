@@ -2,22 +2,14 @@ package cache
 
 import "repro/internal/trace"
 
-// AddBatch processes a batch of references (trace.BatchSink). The batch
-// slice is treated as read-only, as the fan-out dispatcher requires.
-func (s *Sim) AddBatch(refs []trace.Ref) {
-	for _, r := range refs {
-		s.Add(r)
-	}
-}
-
 // SimulateAll replays one buffered trace through every configuration in
 // a single concurrent pass: one simulator per configuration, each fed
 // the full trace in order on its own goroutine by the fan-out
-// dispatcher. Because each simulator still sees the references in
-// emission order, the returned statistics are identical to running the
-// configurations one by one with Buffer.Replay — SimulateAll only
-// changes the wall-clock cost, from one trace walk per configuration to
-// one walk total.
+// dispatcher, through the batch kernels (batch.go). Because each
+// simulator still sees the references in emission order, the returned
+// statistics are identical to running the configurations one by one
+// with Buffer.Replay — SimulateAll only changes the wall-clock cost,
+// from one trace walk per configuration to one walk total.
 //
 // All configurations are validated up front; on error nothing is
 // simulated.

@@ -1,0 +1,117 @@
+package cache
+
+// setAssocCache is an N-way set-associative cache with per-set LRU —
+// the hardware-realizable variant used by the associativity ablation.
+//
+// Each set is a fixed ways-wide window of two flat parallel arrays
+// (line numbers and states) ordered most-recently-used first; a hit or
+// insert rotates the window in place with copy, so steady-state
+// operation never allocates. A handle is the flat slot index
+// set*ways+way; access returns the post-rotation handle.
+type setAssocCache struct {
+	ways  int
+	lines []int32 // numSets * ways, MRU-first within each set
+	sts   []state
+	cnt   []int32 // resident lines per set
+	mask  int32   // numSets - 1
+	n     int
+}
+
+func newSetAssocCache(lines, ways int) *setAssocCache {
+	numSets := lines / ways
+	if numSets < 1 {
+		numSets = 1
+		ways = lines
+	}
+	return &setAssocCache{
+		ways:  ways,
+		lines: make([]int32, numSets*ways),
+		sts:   make([]state, numSets*ways),
+		cnt:   make([]int32, numSets),
+		mask:  int32(numSets - 1),
+	}
+}
+
+func (c *setAssocCache) set(line int32) int { return int(line & c.mask) }
+
+func (c *setAssocCache) find(line int32) int32 {
+	s := c.set(line)
+	base := s * c.ways
+	for i := base; i < base+int(c.cnt[s]); i++ {
+		if c.lines[i] == line {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+func (c *setAssocCache) access(line int32) int32 {
+	h := c.find(line)
+	if h >= 0 {
+		return c.promote(h)
+	}
+	return -1
+}
+
+func (c *setAssocCache) peek(line int32) int32 { return c.find(line) }
+
+func (c *setAssocCache) state(h int32) state        { return c.sts[h] }
+func (c *setAssocCache) setState(h int32, st state) { c.sts[h] = st }
+
+// promote rotates the entry at h to the MRU position of its set,
+// returning its new handle.
+func (c *setAssocCache) promote(h int32) int32 {
+	base := int32(int(h) / c.ways * c.ways)
+	if h == base {
+		return h
+	}
+	line, st := c.lines[h], c.sts[h]
+	copy(c.lines[base+1:h+1], c.lines[base:h])
+	copy(c.sts[base+1:h+1], c.sts[base:h])
+	c.lines[base], c.sts[base] = line, st
+	return base
+}
+
+// insert adds line (which must not be resident) with the given state.
+func (c *setAssocCache) insert(line int32, st state) (h, victimLine int32, victimSt state, evicted bool) {
+	s := c.set(line)
+	base := s * c.ways
+	n := int(c.cnt[s])
+	if n == c.ways {
+		victimLine, victimSt, evicted = c.lines[base+n-1], c.sts[base+n-1], true
+		n--
+	} else {
+		c.cnt[s]++
+		c.n++
+	}
+	copy(c.lines[base+1:base+n+1], c.lines[base:base+n])
+	copy(c.sts[base+1:base+n+1], c.sts[base:base+n])
+	c.lines[base], c.sts[base] = line, st
+	return int32(base), victimLine, victimSt, evicted
+}
+
+func (c *setAssocCache) invalidate(line int32) bool {
+	h := c.find(line)
+	if h < 0 {
+		return false
+	}
+	s := c.set(line)
+	base := s * c.ways
+	end := base + int(c.cnt[s])
+	copy(c.lines[h:end-1], c.lines[h+1:end])
+	copy(c.sts[h:end-1], c.sts[h+1:end])
+	c.cnt[s]--
+	c.n--
+	return true
+}
+
+func (c *setAssocCache) len() int { return c.n }
+
+func (c *setAssocCache) forEach(f func(h int32)) {
+	for s := range c.cnt {
+		base := s * c.ways
+		for i := base; i < base+int(c.cnt[s]); i++ {
+			f(int32(i))
+		}
+	}
+}

@@ -182,7 +182,8 @@ func (f *FanOut) Close() {
 // identical to sequential Replay.
 func (b *Buffer) ReplayAll(sinks ...Sink) {
 	if len(sinks) == 1 {
-		// A single consumer gains nothing from the goroutine hop.
+		// A single consumer gains nothing from the goroutine hop;
+		// Replay hands the whole buffer to a BatchSink in one call.
 		b.Replay(sinks[0])
 		return
 	}

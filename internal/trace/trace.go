@@ -195,10 +195,17 @@ func (t ObjType) WAM() bool { return objTable[t].wam }
 // Locked reports whether accesses to this object type occur under a lock.
 func (t ObjType) Locked() bool { return objTable[t].lock }
 
+// globalObjMask has bit t set when ObjType t is Global per Table 1; it
+// mirrors objTable (TestGlobalMaskMatchesTable) so that Global — called
+// per write on the hybrid cache simulator's hot path — compiles to a
+// constant shift instead of a table load.
+const globalObjMask uint64 = 1<<ObjEnvPVar | 1<<ObjHeap | 1<<ObjParcallGlobal |
+	1<<ObjParcallCount | 1<<ObjGoalFrame | 1<<ObjMessage
+
 // Global reports whether the object is potentially shared between workers
 // (the paper's "Global" locality class). The hybrid cache protocol
 // write-throughs Global writes and copies back Local ones.
-func (t ObjType) Global() bool { return objTable[t].global }
+func (t ObjType) Global() bool { return globalObjMask>>t&1 != 0 }
 
 // ObjTypes returns all real object classifications (excluding ObjNone)
 // in Table 1 order.
@@ -281,8 +288,15 @@ func (b *Buffer) AddBatch(refs []Ref) { b.Refs = append(b.Refs, refs...) }
 // Len returns the number of buffered references.
 func (b *Buffer) Len() int { return len(b.Refs) }
 
-// Replay feeds every buffered reference to sink in order.
+// Replay feeds every buffered reference to sink in order. A sink that
+// implements BatchSink receives the whole buffer as one batch (the
+// zero-copy fast path); per the BatchSink contract it must treat the
+// slice as read-only.
 func (b *Buffer) Replay(sink Sink) {
+	if bs, ok := sink.(BatchSink); ok {
+		bs.AddBatch(b.Refs)
+		return
+	}
 	for _, r := range b.Refs {
 		sink.Add(r)
 	}

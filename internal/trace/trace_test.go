@@ -259,3 +259,11 @@ func TestReadStreamDetectsTruncation(t *testing.T) {
 		t.Error("truncated stream accepted")
 	}
 }
+
+func TestGlobalMaskMatchesTable(t *testing.T) {
+	for obj, info := range objTable {
+		if got := ObjType(obj).Global(); got != info.global {
+			t.Errorf("%v: Global() = %v, objTable says %v", ObjType(obj), got, info.global)
+		}
+	}
+}

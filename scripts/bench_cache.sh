@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench_cache.sh — run the cache-replay benchmarks and record the result
+# as BENCH_cache.json, so the simulator's performance trajectory
+# (simrefs/s, allocs/op) is captured per PR.
+#
+# Usage: scripts/bench_cache.sh [output.json]
+#   BENCH_COUNT=N   repetitions per benchmark (default 1)
+#   BENCH_FILTER=RE benchmarks to run (default the replay pipeline set)
+set -eu
+
+out="${1:-BENCH_cache.json}"
+count="${BENCH_COUNT:-1}"
+filter="${BENCH_FILTER:-BenchmarkReplaySequential|BenchmarkReplayFanOut|BenchmarkReplaySteadyState|BenchmarkCacheSimThroughput}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$filter" -benchmem -count "$count" . > "$tmp" || {
+    status=$?
+    cat "$tmp"
+    echo "bench_cache.sh: go test -bench failed" >&2
+    exit "$status"
+}
+cat "$tmp"
+
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { printf "[" }
+$1 ~ /^Benchmark/ {
+    if (n++) printf ","
+    printf "\n  {\"name\":\"%s\",\"iterations\":%s", $1, $2
+    # remaining fields come in value/unit pairs (ns/op, simrefs/s, B/op, allocs/op, ...)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]+/, "_", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    printf ",\"go\":\"%s\"}", goversion
+}
+END { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"
