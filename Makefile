@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet
+.PHONY: all build test race bench fmt vet docs
 
 all: build test
 
@@ -20,6 +20,12 @@ race:
 # perf trajectory is tracked per PR. BENCH_COUNT=5 for quieter numbers.
 bench:
 	sh scripts/bench_cache.sh BENCH_cache.json
+
+# docs checks the published markdown (broken relative links) and runs
+# the committed Example functions.
+docs:
+	sh scripts/check_links.sh
+	$(GO) test -run 'Example' . ./internal/cache/
 
 fmt:
 	gofmt -l .

@@ -7,8 +7,11 @@ package rapwam
 // evaluation section.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // BenchmarkTable1Classify exercises the Table 1 object classification on
@@ -307,4 +310,54 @@ func BenchmarkRenderReports(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sinkString = t2.String() + Table1() + fmt.Sprint(i)
 	}
+}
+
+// BenchmarkTraceEncode measures compact-codec encode throughput
+// (refs/s) on a real parallel trace — the write-side cost of the
+// persistent trace store.
+func BenchmarkTraceEncode(b *testing.B) {
+	bm, _ := BenchmarkByName("qsort")
+	tr, err := TraceBenchmark(bm, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tr.WriteCompact(&buf, TraceMeta{Benchmark: "qsort", PEs: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+	b.ReportMetric(float64(buf.Len())/float64(tr.Len()), "bytes/ref")
+}
+
+// BenchmarkTraceDecode measures compact-codec streaming decode
+// throughput (refs/s) — the read-side cost every store-served replay
+// pays before the cache kernels see a reference. Recorded into
+// BENCH_cache.json by scripts/bench_cache.sh.
+func BenchmarkTraceDecode(b *testing.B) {
+	bm, _ := BenchmarkByName("qsort")
+	tr, err := TraceBenchmark(bm, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := tr.WriteCompact(&enc, TraceMeta{Benchmark: "qsort", PEs: 4}); err != nil {
+		b.Fatal(err)
+	}
+	data := enc.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := trace.ReadStream(bytes.NewReader(data), trace.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != int64(tr.Len()) {
+			b.Fatalf("decoded %d refs, want %d", n, tr.Len())
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
 }

@@ -3,8 +3,10 @@ package rapwam
 import (
 	"io"
 
+	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 // Trace is a captured memory-reference trace: the interchange format
@@ -30,10 +32,23 @@ func (t *Trace) ReplayAll(cfgs []CacheConfig) ([]CacheStats, error) {
 	return cache.SimulateAll(t.buf, cfgs)
 }
 
-// WriteTo serializes the trace in the binary trace-file format.
+// WriteTo serializes the trace in the legacy fixed-record binary
+// format ("RWT1", 8 bytes per reference). Prefer WriteCompact for new
+// files: it is roughly 4× smaller and CRC-protected.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) { return t.buf.WriteTo(w) }
 
-// ReadTrace parses a binary trace file.
+// WriteCompact serializes the trace in the compact chunked format
+// ("RWT2": delta/varint encoded, CRC-protected chunks, self-describing
+// header — see docs/TRACE_FORMAT.md). meta carries the run parameters
+// recorded in the header; its counts and object table are filled in by
+// the encoder.
+func (t *Trace) WriteCompact(w io.Writer, meta TraceMeta) error {
+	return t.buf.WriteCompact(w, meta)
+}
+
+// ReadTrace parses a binary trace file in either format — the legacy
+// fixed-record "RWT1" or the compact chunked "RWT2" — sniffing the
+// magic bytes.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	buf := &trace.Buffer{}
 	if _, err := buf.ReadFrom(r); err != nil {
@@ -41,6 +56,62 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	}
 	return &Trace{buf: buf}, nil
 }
+
+// TraceMeta re-exports the compact trace metadata: the self-describing
+// header (benchmark, PEs, sequential, emulator version, object-type
+// table) plus footer-verified reference counts.
+type TraceMeta = trace.Meta
+
+// TraceStore re-exports the persistent, content-addressed trace store.
+// A store is a directory of compact traces keyed by (benchmark, PEs,
+// sequential, emulator version); experiment drivers and TraceBenchmark
+// consult it before re-running the emulator, and replay from it
+// streams chunk by chunk without materializing the trace. See
+// internal/tracestore for the full contract.
+type TraceStore = tracestore.Store
+
+// TraceKey re-exports the store cell key.
+type TraceKey = tracestore.Key
+
+// OpenTraceStore creates (if needed) and opens a trace store directory.
+// Attach it with SetTraceStore (or use SetTraceDir to do both).
+func OpenTraceStore(dir string) (*TraceStore, error) { return tracestore.Open(dir) }
+
+// TraceStoreKey returns the store key for a benchmark cell under the
+// current emulator version.
+func TraceStoreKey(benchmark string, pes int, sequential bool) TraceKey {
+	return bench.StoreKey(benchmark, pes, sequential)
+}
+
+// EnsureTraceStored makes sure the attached trace store (SetTraceStore
+// / SetTraceDir) holds the trace and run record for the benchmark
+// cell, generating them with one streaming emulator run if absent.
+// Generation of distinct cells may proceed concurrently; concurrent
+// calls for the same cell run the emulator once.
+func EnsureTraceStored(b Benchmark, pes int, sequential bool) (TraceKey, error) {
+	return bench.EnsureStored(b, pes, sequential)
+}
+
+// TraceStoreEntry re-exports one stored trace found by TraceStore.List.
+type TraceStoreEntry = tracestore.Entry
+
+// ReadTraceFileMeta decodes the self-describing header of a compact
+// trace file (without decoding the reference stream), returning the
+// metadata and the file size.
+func ReadTraceFileMeta(path string) (TraceMeta, int64, error) {
+	return tracestore.ReadFileMeta(path)
+}
+
+// ReadTraceFileFull fully decodes a compact trace file — verifying
+// every chunk CRC and the footer — and returns its metadata with
+// authoritative totals (Refs, PerPE).
+func ReadTraceFileFull(path string) (TraceMeta, error) {
+	return tracestore.ReadFileFull(path)
+}
+
+// VerifyTraceFile fully decodes a compact trace file, reporting the
+// first corruption (nil if the file is intact).
+func VerifyTraceFile(path string) error { return tracestore.VerifyFile(path) }
 
 // Protocol re-exports the coherency protocol selector.
 type Protocol = cache.Protocol

@@ -6,6 +6,13 @@
 //
 //	cachesim -size 512 -line 4 -pes 8 -protocol broadcast trace.rwt
 //	cachesim -sweep -pes 8 trace.rwt     # paper-style size sweep
+//	cachesim -tracedir traces -bench qsort -pes 8 -sweep
+//
+// The trace argument may be either binary format (legacy "RWT1" or
+// compact "RWT2"; the magic is sniffed). Alternatively -tracedir DIR
+// with -bench NAME pulls the trace from a persistent trace store,
+// generating and storing it on first use (-seqtrace selects the
+// sequential WAM baseline cell).
 //
 // -sweep walks the trace once (not once per configuration), feeding
 // every protocol × size simulator concurrently through the streaming
@@ -46,21 +53,14 @@ func main() {
 		alloc    = flag.String("allocate", "paper", "write-allocate policy: paper | yes | no")
 		sweep    = flag.Bool("sweep", false, "sweep cache sizes 64..8192 over all protocols")
 		par      = flag.Int("par", 0, "max cache simulators per trace pass in -sweep (0 = all in one pass)")
+		traceDir = flag.String("tracedir", "", "persistent trace store directory (use with -bench instead of a trace file)")
+		benchSrc = flag.String("bench", "", "benchmark whose trace to pull from -tracedir (generated and stored on first use)")
+		seqTrace = flag.Bool("seqtrace", false, "with -bench: use the sequential WAM baseline trace")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after replay) to this file")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cachesim [flags] trace.rwt")
-		flag.PrintDefaults()
-		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	tr, err := rapwam.ReadTrace(f)
-	f.Close()
+	tr, err := loadTrace(*traceDir, *benchSrc, *pes, *seqTrace)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,6 +106,44 @@ func main() {
 		st.BusWords, st.LineFills, st.WriteBacks, st.WriteThroughs, st.Updates)
 	fmt.Printf("invalidations:  %d\n", st.Invalidations)
 	stopProfiles()
+}
+
+// loadTrace resolves the trace source: a file argument (either binary
+// format, sniffed), or a (store, benchmark) cell generated on first
+// use.
+func loadTrace(traceDir, benchName string, pes int, sequential bool) (*rapwam.Trace, error) {
+	switch {
+	case traceDir != "" && benchName == "":
+		return nil, fmt.Errorf("-tracedir needs -bench to name the trace cell (a file argument bypasses the store)")
+	case benchName != "":
+		if traceDir == "" || flag.NArg() != 0 {
+			usageExit()
+		}
+		if _, err := rapwam.SetTraceDir(traceDir); err != nil {
+			return nil, err
+		}
+		b, ok := rapwam.BenchmarkByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		return rapwam.TraceBenchmark(b, pes, sequential)
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rapwam.ReadTrace(f)
+	default:
+		usageExit()
+		return nil, nil
+	}
+}
+
+func usageExit() {
+	fmt.Fprintln(os.Stderr, "usage: cachesim [flags] trace.rwt  |  cachesim -tracedir DIR -bench NAME [flags]")
+	flag.PrintDefaults()
+	os.Exit(2)
 }
 
 // stopProfiles is set once profiling starts; fatal() runs it so an

@@ -15,6 +15,13 @@
 // bounded worker pool over memoized traces, simulating all cache
 // configurations per trace concurrently in a single pass; -par bounds
 // the pool and -progress reports per-cell completion on stderr.
+//
+// -tracedir DIR attaches a persistent trace store: every emulator run
+// is performed at most once per emulator version, traces stream to
+// disk in the compact codec and replay from disk chunk by chunk. A
+// second -exp all over the same directory performs zero emulator runs
+// (the run summary on stderr reports the count). Warm the store ahead
+// of time with cmd/tracegen.
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 		cache    = flag.Int("cache", 256, "cache size (words) for mlips/bus")
 		target   = flag.Float64("target", 2, "MLIPS target")
 		par      = flag.Int("par", 0, "experiment grid parallelism (0 = GOMAXPROCS)")
+		traceDir = flag.String("tracedir", "", "persistent trace store directory (consulted before any emulator run)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -71,11 +79,27 @@ func main() {
 	}
 
 	rapwam.SetParallelism(*par)
+	var store *rapwam.TraceStore
+	if *traceDir != "" {
+		s, err := rapwam.SetTraceDir(*traceDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		store = s
+	}
 	if *progress {
 		rapwam.SetProgress(func(msg string) {
 			fmt.Fprintf(os.Stderr, "experiments: %s\n", msg)
 		})
 		fmt.Fprintf(os.Stderr, "experiments: grid parallelism %d\n", rapwam.Parallelism())
+	}
+	if store != nil {
+		defer func() {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "experiments: trace store %s: %d hits, %d misses, %d traces written, %d emulator runs\n",
+				*traceDir, st.Hits, st.Misses, st.Puts, rapwam.EngineRuns())
+		}()
 	}
 
 	run := func(name string, f func() error) {

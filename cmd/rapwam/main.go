@@ -8,6 +8,11 @@
 //
 // The program file contains Prolog clauses with optional CGE
 // annotations: (conds | g1 & g2) or plain g1 & g2.
+//
+// -trace writes the memory-reference trace: a path ending in .rwt2
+// selects the compact chunked codec (delta/varint encoded,
+// CRC-protected — see docs/TRACE_FORMAT.md); any other path writes
+// the legacy fixed-record format. cmd/cachesim reads both.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro"
 
@@ -61,7 +67,10 @@ func main() {
 	}
 	report(res, *stats)
 	if *traceOut != "" {
-		writeTrace(res.Trace, *traceOut)
+		writeTrace(res.Trace, *traceOut, rapwam.TraceMeta{
+			PEs: *pes, Sequential: *seq,
+			EmulatorVersion: rapwam.EmulatorVersion(),
+		})
 	}
 	if !res.Success {
 		os.Exit(1)
@@ -78,7 +87,10 @@ func runBench(name string, pes int, seq, stats bool, traceOut string) {
 		if err != nil {
 			fatal(err)
 		}
-		writeTrace(tr, traceOut)
+		writeTrace(tr, traceOut, rapwam.TraceMeta{
+			Benchmark: b.Name, PEs: pes, Sequential: seq,
+			EmulatorVersion: rapwam.EmulatorVersion(),
+		})
 		fmt.Printf("%s: %d references traced\n", name, tr.Len())
 		return
 	}
@@ -133,13 +145,20 @@ func report(res *rapwam.Result, stats bool) {
 	}
 }
 
-func writeTrace(tr *rapwam.Trace, path string) {
+// writeTrace serializes the trace: .rwt2 paths get the compact chunked
+// codec, everything else the legacy fixed-record format.
+func writeTrace(tr *rapwam.Trace, path string, meta rapwam.TraceMeta) {
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	if _, err := tr.WriteTo(f); err != nil {
+	if strings.HasSuffix(path, ".rwt2") {
+		err = tr.WriteCompact(f, meta)
+	} else {
+		_, err = tr.WriteTo(f)
+	}
+	if err != nil {
 		fatal(err)
 	}
 }

@@ -3,6 +3,7 @@ package rapwam
 import (
 	"repro/internal/busmodel"
 	"repro/internal/experiments"
+	"repro/internal/tracestore"
 )
 
 // This file re-exports the experiment drivers that regenerate the
@@ -33,6 +34,50 @@ func SetProgress(f func(msg string)) { experiments.SetProgress(f) }
 // ResetTraceCache drops the memoized benchmark traces the experiment
 // drivers share (a few MB per distinct benchmark × PE-count entry).
 func ResetTraceCache() { experiments.ResetTraceCache() }
+
+// SetTraceStore attaches (nil: detaches) a persistent trace store.
+// With a store attached, every (benchmark, PEs, sequential) emulator
+// run is performed at most once per emulator version: the trace
+// streams into the store's compact codec, the run's statistics go into
+// a sidecar, and every later experiment — in this process or the next
+// — replays from disk, chunk by chunk, without materializing the
+// trace. Results are bit-identical to the in-memory path.
+func SetTraceStore(s *TraceStore) { experiments.SetStore(s) }
+
+// SetTraceDir opens (creating if needed) the trace store rooted at dir
+// and attaches it; an empty dir detaches the store. It is the
+// one-liner behind the CLIs' -tracedir flag.
+func SetTraceDir(dir string) (*TraceStore, error) {
+	if dir == "" {
+		experiments.SetStore(nil)
+		return nil, nil
+	}
+	s, err := tracestore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	experiments.SetStore(s)
+	return s, nil
+}
+
+// TraceTarget re-exports one trace-generation cell for GenerateTraces.
+type TraceTarget = experiments.TraceTarget
+
+// GenerateTraces generates every missing target cell into the attached
+// trace store, independent cells concurrently on the bounded worker
+// pool (SetParallelism). cmd/tracegen's generate subcommand is a thin
+// wrapper around it.
+func GenerateTraces(targets []TraceTarget) error {
+	return experiments.GenerateTraces(targets)
+}
+
+// EngineRuns returns the number of emulator executions performed so
+// far — the observable that verifies a warm trace store eliminates
+// regeneration (a full experiment sweep over a warm store reports 0).
+func EngineRuns() int64 { return experiments.EngineRuns() }
+
+// ResetEngineRuns zeroes the emulator-execution counter.
+func ResetEngineRuns() { experiments.ResetEngineRuns() }
 
 // Table1 renders the storage-object classification (paper Table 1).
 func Table1() string { return experiments.Table1() }

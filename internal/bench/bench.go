@@ -24,6 +24,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/compile"
@@ -69,8 +70,26 @@ func Large() []Benchmark {
 	return []Benchmark{NRev(), Queens(), Primes(), Zebra()}
 }
 
-// ByName finds a benchmark, including the ablation variants
-// ("deriv-checked", "deriv-d<N>").
+// Names returns the name of every fixed benchmark the CLIs can run:
+// the paper suite, the large sequential suite, and the checked-CGE
+// ablation variant. Parameterized variants resolve through ByName in
+// addition to these — "deriv-d<N>" (parallelism depth 0..16) and the
+// sized large/paper variants "deriv-<nodes>", "qsort-<len>",
+// "matrix-<n>", "nrev-<len>", "queens-<n>" and "primes-<limit>".
+func Names() []string {
+	var out []string
+	for _, b := range append(Paper(), Large()...) {
+		out = append(out, b.Name)
+	}
+	return append(out, DerivChecked().Name)
+}
+
+// ByName finds a benchmark by name: every fixed benchmark in Names()
+// plus the parameterized variants ("deriv-checked", "deriv-d<N>",
+// "nrev-<len>", "queens-<n>", "primes-<limit>", "qsort-<len>",
+// "matrix-<n>", "deriv-<nodes>"). The returned Benchmark's Name equals
+// the requested name, so parameterized variants key distinctly in the
+// trace store.
 func ByName(name string) (Benchmark, bool) {
 	for _, b := range append(Paper(), Large()...) {
 		if b.Name == name {
@@ -80,11 +99,68 @@ func ByName(name string) (Benchmark, bool) {
 	if name == "deriv-checked" {
 		return DerivChecked(), true
 	}
-	var depth int
-	if n, err := fmt.Sscanf(name, "deriv-d%d", &depth); err == nil && n == 1 && depth >= 0 && depth <= 16 {
-		return DerivDepth(depth), true
+	base, arg, ok := splitSizedName(name)
+	if !ok {
+		return Benchmark{}, false
+	}
+	if base == "deriv" && len(arg) > 1 && arg[0] == 'd' {
+		if depth, ok := parseSize(arg[1:], 0, 16); ok {
+			return DerivDepth(depth), true
+		}
+		return Benchmark{}, false
+	}
+	n, numOK := parseSize(arg, 1, 1<<20)
+	if !numOK {
+		return Benchmark{}, false
+	}
+	switch base {
+	case "deriv":
+		if n <= 512 {
+			return DerivSized(n), true
+		}
+	case "qsort":
+		if n <= 20000 {
+			return QsortSized(n), true
+		}
+	case "matrix":
+		if n <= 32 {
+			return MatrixSized(n), true
+		}
+	case "nrev":
+		if n <= 5000 {
+			return NRevSized(n), true
+		}
+	case "queens":
+		if n >= 4 && n <= 12 {
+			return QueensSized(n), true
+		}
+	case "primes":
+		if n >= 2 && n <= 100000 {
+			return PrimesSized(n), true
+		}
 	}
 	return Benchmark{}, false
+}
+
+// splitSizedName splits "nrev-220" into ("nrev", "220"). The parameter
+// is everything after the last dash.
+func splitSizedName(name string) (base, arg string, ok bool) {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return "", "", false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// parseSize parses a strictly numeric benchmark parameter within
+// [lo, hi]. Unlike Sscanf it rejects trailing garbage, so "nrev-50x"
+// does not silently resolve as nrev-50.
+func parseSize(s string, lo, hi int) (int, bool) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < lo || n > hi || (len(s) > 1 && s[0] == '0') {
+		return 0, false
+	}
+	return n, true
 }
 
 // RunConfig parameterizes a benchmark run.
@@ -99,8 +175,10 @@ type RunConfig struct {
 	Layout mem.Layout
 }
 
-// Run compiles and executes the benchmark.
+// Run compiles and executes the benchmark. Every Run is one emulator
+// execution and counts toward EngineRuns.
 func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
+	engineRuns.Add(1)
 	code, err := compile.Compile(b.Source, b.Query, compile.Options{Sequential: cfg.Sequential})
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
@@ -125,12 +203,26 @@ func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
 	return res, nil
 }
 
-// Trace runs the benchmark capturing its full memory-reference trace
-// (preallocated so tracing stays off the Go GC's hot path), returning
-// the buffer alongside the run result. Callers that want to stream
+// Trace returns the benchmark's full memory-reference trace, running
+// the emulator to generate it. With a persistent store attached
+// (SetTraceStore) the store is consulted first: a hit decodes the
+// stored trace instead of re-running the emulator (and returns a nil
+// run result, since no run happened), and a miss generates through the
+// store so the next caller hits. Callers that want to stream
 // references instead of buffering them pass their own Sink via
-// RunConfig.
+// RunConfig; callers that should never materialize the trace replay it
+// from the store (tracestore.Store.Replay) instead.
 func Trace(b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, error) {
+	if s := TraceStore(); s != nil {
+		if _, err := EnsureStored(b, pes, sequential); err != nil {
+			return nil, nil, err
+		}
+		buf, _, err := s.Load(StoreKey(b.Name, pes, sequential))
+		if err != nil {
+			return nil, nil, err
+		}
+		return buf, nil, nil
+	}
 	buf := trace.NewBuffer(1 << 20)
 	res, err := Run(b, RunConfig{PEs: pes, Sequential: sequential, Sink: buf})
 	if err != nil {
@@ -265,10 +357,12 @@ func Deriv() Benchmark {
 	}
 }
 
-// DerivSized returns deriv with a custom expression size (Figure 2's
-// processor sweep uses the standard size; examples use smaller ones).
+// DerivSized returns deriv with a custom expression size — the
+// "deriv-<nodes>" variant (Figure 2's processor sweep uses the
+// standard size; examples use smaller ones).
 func DerivSized(binaryNodes int) Benchmark {
 	b := Deriv()
+	b.Name = fmt.Sprintf("deriv-%d", binaryNodes)
 	b.Query = fmt.Sprintf("pd(%s, x, D, 2)", derivExpr(binaryNodes))
 	return b
 }
@@ -378,11 +472,19 @@ func intsToProlog(xs []int) string {
 
 // Qsort returns the qsort benchmark.
 func Qsort() Benchmark {
-	in := qsortInput(700) // ~237k instructions (paper Table 2: 237884)
+	b := QsortSized(700) // ~237k instructions (paper Table 2: 237884)
+	b.Name = "qsort"
+	return b
+}
+
+// QsortSized returns qsort over a custom input length — the
+// "qsort-<len>" variant.
+func QsortSized(n int) Benchmark {
+	in := qsortInput(n)
 	sorted := append([]int(nil), in...)
 	sort.Ints(sorted)
 	return Benchmark{
-		Name:     "qsort",
+		Name:     fmt.Sprintf("qsort-%d", n),
 		Source:   qsortSource,
 		Query:    fmt.Sprintf("qsort(%s, S)", intsToProlog(in)),
 		Check:    expectBinding("S", intsToProlog(sorted)),
@@ -432,7 +534,14 @@ func matToProlog(m [][]int) string {
 // the paper's 95349 — same order, and the same refs/instruction ratio
 // of ~1.0).
 func Matrix() Benchmark {
-	const n = 12
+	b := MatrixSized(12)
+	b.Name = "matrix"
+	return b
+}
+
+// MatrixSized returns n×n matrix multiplication — the "matrix-<n>"
+// variant.
+func MatrixSized(n int) Benchmark {
 	a, b := matrixInput(n)
 	// transpose b
 	bt := make([][]int, n)
@@ -455,7 +564,7 @@ func Matrix() Benchmark {
 		}
 	}
 	return Benchmark{
-		Name:     "matrix",
+		Name:     fmt.Sprintf("matrix-%d", n),
 		Source:   matrixSource,
 		Query:    fmt.Sprintf("mmult(%s, %s, P)", matToProlog(a), matToProlog(bt)),
 		Check:    expectBinding("P", matToProlog(prod)),
@@ -475,7 +584,14 @@ nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
 // NRev returns naive reverse of a 220-element list (~24k logical
 // inferences, a classic WAM locality workload).
 func NRev() Benchmark {
-	n := 220
+	b := NRevSized(220)
+	b.Name = "nrev"
+	return b
+}
+
+// NRevSized returns naive reverse of an n-element list — the
+// "nrev-<len>" variant.
+func NRevSized(n int) Benchmark {
 	in := make([]int, n)
 	rev := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -483,7 +599,7 @@ func NRev() Benchmark {
 		rev[n-1-i] = i
 	}
 	return Benchmark{
-		Name:   "nrev",
+		Name:   fmt.Sprintf("nrev-%d", n),
 		Source: nrevSource,
 		Query:  fmt.Sprintf("nrev(%s, R)", intsToProlog(in)),
 		Check:  expectBinding("R", intsToProlog(rev)),
@@ -512,10 +628,18 @@ range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
 
 // Queens returns 8-queens (first solution).
 func Queens() Benchmark {
+	b := QueensSized(8)
+	b.Name = "queens"
+	return b
+}
+
+// QueensSized returns n-queens, first solution — the "queens-<n>"
+// variant.
+func QueensSized(n int) Benchmark {
 	return Benchmark{
-		Name:   "queens",
+		Name:   fmt.Sprintf("queens-%d", n),
 		Source: queensSource,
-		Query:  "queens(8, Qs)",
+		Query:  fmt.Sprintf("queens(%d, Qs)", n),
 		Check:  expectSuccess,
 	}
 }
@@ -535,22 +659,31 @@ range2(M, N, [M|Ns]) :- M < N, M1 is M + 1, range2(M1, N, Ns).
 
 // Primes sieves up to 1000.
 func Primes() Benchmark {
+	b := PrimesSized(1000)
+	b.Name = "primes"
+	return b
+}
+
+// PrimesSized sieves up to n — the "primes-<limit>" variant. The
+// expected prime list is recomputed in Go, so the check is exact at
+// any size.
+func PrimesSized(n int) Benchmark {
+	composite := make([]bool, n+1)
+	var primes []int
+	for p := 2; p <= n; p++ {
+		if composite[p] {
+			continue
+		}
+		primes = append(primes, p)
+		for q := p * p; q <= n; q += p {
+			composite[q] = true
+		}
+	}
 	return Benchmark{
-		Name:   "primes",
+		Name:   fmt.Sprintf("primes-%d", n),
 		Source: primesSource,
-		Query:  "primes(1000, Ps)",
-		Check: func(res *core.Result) error {
-			if !res.Success {
-				return fmt.Errorf("query failed")
-			}
-			if !strings.HasPrefix(res.Bindings["Ps"], "[2,3,5,7,11,13,") {
-				return fmt.Errorf("Ps = %.40s...", res.Bindings["Ps"])
-			}
-			if !strings.HasSuffix(res.Bindings["Ps"], ",991,997]") {
-				return fmt.Errorf("Ps ends %.40s", res.Bindings["Ps"][len(res.Bindings["Ps"])-40:])
-			}
-			return nil
-		},
+		Query:  fmt.Sprintf("primes(%d, Ps)", n),
+		Check:  expectBinding("Ps", intsToProlog(primes)),
 	}
 }
 

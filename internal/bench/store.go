@@ -1,0 +1,123 @@
+package bench
+
+// Persistent trace-store integration. When a store is attached
+// (SetTraceStore), every benchmark cell — one (benchmark, PEs,
+// sequential) engine run — is generated at most once per emulator
+// version: the run streams its reference trace straight into the
+// store's compact encoder (never buffering it) and records its engine
+// statistics in a JSON sidecar, and later callers replay from disk.
+// Trace and the experiments grid runner both consult the store before
+// regenerating.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// engineRuns counts emulator executions (Run calls) since process
+// start or the last ResetEngineRuns — the observable that verifies a
+// warm trace store eliminates regeneration.
+var engineRuns atomic.Int64
+
+// EngineRuns returns the number of emulator executions performed so
+// far (every Run call, including runs on behalf of Trace and the
+// experiment drivers).
+func EngineRuns() int64 { return engineRuns.Load() }
+
+// ResetEngineRuns zeroes the emulator-execution counter.
+func ResetEngineRuns() { engineRuns.Store(0) }
+
+// traceStore is the attached persistent store (nil = disabled).
+var traceStoreP atomic.Pointer[tracestore.Store]
+
+// cellFlights single-flights concurrent generation of the same cell.
+var cellFlights sync.Map // tracestore.Key -> *cellFlight
+
+type cellFlight struct {
+	once sync.Once
+	err  error
+}
+
+// SetTraceStore attaches (or, with nil, detaches) the persistent trace
+// store consulted by Trace and EnsureStored. Attaching a store resets
+// the in-process generation dedup, so a store swapped mid-process is
+// consulted afresh.
+func SetTraceStore(s *tracestore.Store) {
+	traceStoreP.Store(s)
+	cellFlights.Range(func(k, _ any) bool {
+		cellFlights.Delete(k)
+		return true
+	})
+}
+
+// TraceStore returns the attached persistent trace store (nil if none).
+func TraceStore() *tracestore.Store { return traceStoreP.Load() }
+
+// StoreKey returns the trace-store key for a benchmark cell under the
+// current emulator version.
+func StoreKey(benchmark string, pes int, sequential bool) tracestore.Key {
+	return tracestore.Key{
+		Benchmark:       benchmark,
+		PEs:             pes,
+		Sequential:      sequential,
+		EmulatorVersion: core.EmulatorVersion,
+	}
+}
+
+// RunRecord is the store sidecar written alongside each generated
+// trace: the generating run's outcome and instrumentation, so drivers
+// that need only statistics (Figure 2, Table 2, MLIPS, lock share)
+// skip the emulator exactly like trace consumers do.
+type RunRecord struct {
+	// Success reports whether the query succeeded (it always has for a
+	// stored benchmark cell: generation validates the answer).
+	Success bool
+	// Stats is the engine instrumentation of the generating run.
+	Stats core.Stats
+	// Refs is the Table 1 reference counter of the generating run.
+	Refs trace.Counter
+}
+
+// EnsureStored makes sure the attached store holds the trace and run
+// sidecar for (b, pes, sequential), generating them with one engine run
+// if absent. Generation is streaming (the trace never materializes in
+// memory) and single-flighted: concurrent callers for the same cell
+// block until the one generation completes. It returns the cell's key.
+// Calling EnsureStored with no store attached is an error.
+func EnsureStored(b Benchmark, pes int, sequential bool) (tracestore.Key, error) {
+	s := TraceStore()
+	k := StoreKey(b.Name, pes, sequential)
+	if s == nil {
+		return k, errNoStore
+	}
+	v, _ := cellFlights.LoadOrStore(k, &cellFlight{})
+	f := v.(*cellFlight)
+	f.once.Do(func() {
+		if s.Has(k) {
+			return
+		}
+		var res *core.Result
+		f.err = s.Put(k, func(sink trace.Sink) error {
+			r, err := Run(b, RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
+			res = r
+			return err
+		})
+		if f.err == nil {
+			f.err = s.PutSidecar(k, RunRecord{Success: res.Success, Stats: res.Stats, Refs: *res.Refs})
+		}
+	})
+	if f.err != nil {
+		// Leave the flight failed: a missing benchmark or full disk will
+		// fail again; callers see the original error either way.
+		return k, f.err
+	}
+	return k, nil
+}
+
+// errNoStore reports EnsureStored use without an attached store.
+var errNoStore = errors.New("bench: no trace store attached (SetTraceStore)")

@@ -14,6 +14,20 @@ import "repro/internal/trace"
 // All configurations are validated up front; on error nothing is
 // simulated.
 func SimulateAll(buf *trace.Buffer, cfgs []Config) ([]Stats, error) {
+	return SimulateAllStream(cfgs, func(sinks []trace.Sink) error {
+		buf.ReplayAll(sinks...)
+		return nil
+	})
+}
+
+// SimulateAllStream is SimulateAll over any reference source: it
+// validates every configuration, builds one simulator per
+// configuration, hands their sinks to replay — which must deliver the
+// full stream to each sink in emission order (e.g. via trace.FanOut or
+// a store's chunked decode) — and collects per-configuration
+// statistics. The experiments grid uses it to stream traces from disk
+// without materializing them.
+func SimulateAllStream(cfgs []Config, replay func(sinks []trace.Sink) error) ([]Stats, error) {
 	for _, cfg := range cfgs {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
@@ -25,7 +39,9 @@ func SimulateAll(buf *trace.Buffer, cfgs []Config) ([]Stats, error) {
 		sims[i] = New(cfg)
 		sinks[i] = sims[i]
 	}
-	buf.ReplayAll(sinks...)
+	if err := replay(sinks); err != nil {
+		return nil, err
+	}
 	out := make([]Stats, len(cfgs))
 	for i, sim := range sims {
 		out[i] = sim.Stats()

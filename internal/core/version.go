@@ -1,0 +1,11 @@
+package core
+
+// EmulatorVersion identifies the trace-relevant behaviour of the
+// engine + compiler + benchmark-input stack. A stored trace is valid
+// exactly as long as re-running the same (benchmark, PEs, sequential)
+// cell would reproduce it bit-for-bit, so this string participates in
+// the trace store's content key (internal/tracestore): bump it whenever
+// a change to the compiler, the engine's scheduling or memory layout,
+// or the benchmark inputs alters the emitted reference stream, and
+// every stale store entry is automatically ignored.
+const EmulatorVersion = "emu1"

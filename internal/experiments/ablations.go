@@ -29,25 +29,26 @@ type GranularitySweep struct {
 	Points []GranularityPoint
 }
 
-// RunGranularitySweep measures deriv at the given depths.
+// RunGranularitySweep measures deriv at the given depths, serving
+// per-cell statistics from the grid's memo layer.
 func RunGranularitySweep(depths []int) (*GranularitySweep, error) {
-	base, err := bench.Run(bench.DerivDepth(0), bench.RunConfig{PEs: 1, Sequential: true})
+	base, _, err := runStats(bench.DerivDepth(0), 1, true)
 	if err != nil {
 		return nil, err
 	}
-	baseRefs := float64(base.Stats.TotalWorkRefs())
-	baseCycles := float64(base.Stats.Cycles)
+	baseRefs := float64(base.TotalWorkRefs())
+	baseCycles := float64(base.Cycles)
 	out := &GranularitySweep{}
 	for _, d := range depths {
-		res, err := bench.Run(bench.DerivDepth(d), bench.RunConfig{PEs: 8})
+		st, _, err := runStats(bench.DerivDepth(d), 8, false)
 		if err != nil {
 			return nil, err
 		}
 		out.Points = append(out.Points, GranularityPoint{
 			Depth:         d,
-			GoalsParallel: res.Stats.GoalsParallel,
-			RefsOverhead:  float64(res.Stats.TotalWorkRefs())/baseRefs - 1,
-			Speedup8:      baseCycles / float64(res.Stats.Cycles),
+			GoalsParallel: st.GoalsParallel,
+			RefsOverhead:  float64(st.TotalWorkRefs())/baseRefs - 1,
+			Speedup8:      baseCycles / float64(st.Cycles),
 		})
 	}
 	return out, nil
@@ -125,18 +126,19 @@ type LockShare struct {
 	Total     int64
 }
 
-// RunLockShare measures one benchmark.
+// RunLockShare measures one benchmark; the Table 1 reference counter
+// comes from the grid's memo layer (the run sidecar, with a store).
 func RunLockShare(benchName string, pes int) (*LockShare, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
 	}
-	res, err := bench.Run(b, bench.RunConfig{PEs: pes})
+	_, refs, err := runStats(b, pes, false)
 	if err != nil {
 		return nil, err
 	}
 	out := &LockShare{Benchmark: benchName, PEs: pes}
-	for obj, ops := range res.Refs.ByObj {
+	for obj, ops := range refs.ByObj {
 		n := ops[0] + ops[1]
 		out.Total += n
 		if trace.ObjType(obj).Locked() {
@@ -179,12 +181,9 @@ func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) 
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
 	}
-	buf, err := cachedTrace(b, pes, pes == 1)
-	if err != nil {
-		return nil, err
-	}
 	// The DES needs the bus-transaction event stream in global order, so
-	// this one replay stays sequential (a single OnBus observer).
+	// this one replay stays sequential (a single OnBus observer); with a
+	// store attached it streams from the stored trace.
 	var events []busmodel.Event
 	sim := cache.New(cache.Config{
 		PEs: pes, SizeWords: cacheWords, LineWords: 4,
@@ -198,7 +197,9 @@ func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) 
 			PE: pe, Time: float64(refIndex) / float64(pes), Words: words,
 		})
 	}
-	buf.Replay(sim)
+	if err := replayCell(b, pes, pes == 1, sim); err != nil {
+		return nil, err
+	}
 
 	des, _, err := busmodel.Simulate(events, pes, busWordsPerCycle)
 	if err != nil {

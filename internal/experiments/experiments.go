@@ -69,34 +69,35 @@ type Figure2 struct {
 }
 
 // RunFigure2 sweeps deriv over the given PE counts (the paper plots 1
-// to 40).
+// to 40). Per-cell statistics come through the grid's memo layer, so
+// with a warm trace store the sweep runs no emulation at all.
 func RunFigure2(peCounts []int) (*Figure2, error) {
 	b := bench.Deriv()
-	seq, err := bench.Run(b, bench.RunConfig{PEs: 1, Sequential: true})
+	seq, _, err := runStats(b, 1, true)
 	if err != nil {
 		return nil, err
 	}
-	wamRefs := seq.Stats.TotalWorkRefs()
-	wamCycles := seq.Stats.Cycles
+	wamRefs := seq.TotalWorkRefs()
+	wamCycles := seq.Cycles
 	out := &Figure2{Benchmark: b.Name, WAMRefs: wamRefs}
 	for _, pes := range peCounts {
-		res, err := bench.Run(b, bench.RunConfig{PEs: pes})
+		st, _, err := runStats(b, pes, false)
 		if err != nil {
 			return nil, err
 		}
 		var waits, idles int64
-		for i := range res.Stats.WaitCycles {
-			waits += res.Stats.WaitCycles[i]
-			idles += res.Stats.IdleCycles[i]
+		for i := range st.WaitCycles {
+			waits += st.WaitCycles[i]
+			idles += st.IdleCycles[i]
 		}
-		machineCycles := res.Stats.Cycles * int64(pes)
+		machineCycles := st.Cycles * int64(pes)
 		out.Points = append(out.Points, Fig2Point{
 			PEs:           pes,
-			WorkPct:       100 * float64(res.Stats.TotalWorkRefs()) / float64(wamRefs),
-			Speedup:       float64(wamCycles) / float64(res.Stats.Cycles),
+			WorkPct:       100 * float64(st.TotalWorkRefs()) / float64(wamRefs),
+			Speedup:       float64(wamCycles) / float64(st.Cycles),
 			WaitPct:       100 * float64(waits) / float64(machineCycles),
 			IdlePct:       100 * float64(idles) / float64(machineCycles),
-			GoalsParallel: res.Stats.GoalsParallel,
+			GoalsParallel: st.GoalsParallel,
 		})
 	}
 	return out, nil
@@ -130,25 +131,25 @@ type Table2 struct {
 }
 
 // RunTable2 gathers the paper's Table 2 at the given PE count (8 in the
-// paper).
+// paper), serving per-cell statistics from the grid's memo layer.
 func RunTable2(pes int) (*Table2, error) {
 	out := &Table2{PEs: pes}
 	for _, b := range bench.Paper() {
-		seq, err := bench.Run(b, bench.RunConfig{PEs: 1, Sequential: true})
+		seq, _, err := runStats(b, 1, true)
 		if err != nil {
 			return nil, err
 		}
-		par, err := bench.Run(b, bench.RunConfig{PEs: pes})
+		par, _, err := runStats(b, pes, false)
 		if err != nil {
 			return nil, err
 		}
 		out.Rows = append(out.Rows, Table2Row{
 			Name:          b.Name,
-			Instructions:  par.Stats.TotalInstructions(),
-			RefsRAPWAM:    par.Stats.TotalWorkRefs(),
-			RefsWAM:       seq.Stats.TotalWorkRefs(),
-			GoalsParallel: par.Stats.GoalsParallel,
-			GoalsStolen:   par.Stats.GoalsStolen,
+			Instructions:  par.TotalInstructions(),
+			RefsRAPWAM:    par.TotalWorkRefs(),
+			RefsWAM:       seq.TotalWorkRefs(),
+			GoalsParallel: par.GoalsParallel,
+			GoalsStolen:   par.GoalsStolen,
 		})
 	}
 	return out, nil
@@ -450,14 +451,14 @@ func RunMLIPS(cacheWords int, targetMLIPS float64) (*MLIPS, error) {
 	type seqStat struct{ instrs, refs, calls int64 }
 	seqStats := make([]seqStat, len(seqBenches))
 	err := runGrid(len(seqBenches), func(i int) error {
-		res, err := bench.Run(seqBenches[i], bench.RunConfig{PEs: 1, Sequential: true})
+		st, _, err := runStats(seqBenches[i], 1, true)
 		if err != nil {
 			return err
 		}
 		seqStats[i] = seqStat{
-			instrs: res.Stats.TotalInstructions(),
-			refs:   res.Stats.TotalWorkRefs(),
-			calls:  res.Stats.Inferences,
+			instrs: st.TotalInstructions(),
+			refs:   st.TotalWorkRefs(),
+			calls:  st.Inferences,
 		}
 		progress("mlips: measured %s", seqBenches[i].Name)
 		return nil

@@ -8,16 +8,22 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 )
 
 // This file is the experiment grid runner. Every driver that sweeps a
 // parameter grid (Figure 4, Table 3, MLIPS, the bus study, the cache
 // ablations) decomposes into the same three layers:
 //
-//  1. cachedTrace — each distinct (benchmark, PEs, sequential) engine
-//     run is executed once and its reference trace memoized, no matter
-//     how many grid cells need it;
+//  1. memoized cells — each distinct (benchmark, PEs, sequential)
+//     engine run is executed once, no matter how many grid cells need
+//     it. Without a trace store the trace is memoized in RAM
+//     (cachedTrace); with one attached (SetStore / bench.SetTraceStore)
+//     the run streams into the persistent store and later cells —
+//     including cells in later processes — replay from disk, decoding
+//     chunk by chunk so the trace never materializes in memory;
 //  2. simulateAll — all cache configurations that consume one trace are
 //     simulated concurrently in a single pass over it (trace.FanOut);
 //  3. runGrid — independent grid cells (different traces) execute on a
@@ -25,7 +31,9 @@ import (
 //
 // The engine itself is a deterministic single-goroutine simulation and
 // every cache.Sim is driven by exactly one consumer goroutine, so the
-// results are bit-identical to the sequential formulation.
+// results are bit-identical to the sequential formulation — whether the
+// reference stream comes from the engine, a RAM buffer, or a stored
+// compact trace.
 
 // parallelism is the worker-pool width for independent grid cells.
 var parallelism atomic.Int64
@@ -157,14 +165,131 @@ func ResetTraceCache() {
 	})
 }
 
-// simulateAll replays one memoized trace through all configurations in
-// a single fan-out pass and returns per-configuration statistics.
-func simulateAll(b bench.Benchmark, pes int, sequential bool, cfgs []cache.Config) ([]cache.Stats, error) {
+// SetStore attaches (nil: detaches) the persistent trace store the
+// grid consults before running the emulator; it forwards to
+// bench.SetTraceStore so bench.Trace shares the same store.
+func SetStore(s *tracestore.Store) { bench.SetTraceStore(s) }
+
+// activeStore returns the attached persistent store (nil if none).
+func activeStore() *tracestore.Store { return bench.TraceStore() }
+
+// EngineRuns returns the number of emulator executions so far (see
+// bench.EngineRuns) — with a warm store a full experiment sweep
+// performs zero.
+func EngineRuns() int64 { return bench.EngineRuns() }
+
+// ResetEngineRuns zeroes the emulator-execution counter.
+func ResetEngineRuns() { bench.ResetEngineRuns() }
+
+// replayCell streams the cell's trace into the sinks in one pass.
+// With a store attached the pass is a chunked streaming decode from
+// disk (the trace is never materialized); otherwise it replays the
+// RAM-memoized buffer. Either way every sink sees the exact emission
+// order, so results are bit-identical across sources.
+func replayCell(b bench.Benchmark, pes int, sequential bool, sinks ...trace.Sink) error {
+	if s := activeStore(); s != nil {
+		k, err := bench.EnsureStored(b, pes, sequential)
+		if err != nil {
+			return err
+		}
+		if len(sinks) == 1 {
+			_, err := s.Replay(k, sinks[0])
+			return err
+		}
+		f := trace.NewFanOut(trace.FanOutConfig{}, sinks...)
+		_, err = s.Replay(k, f)
+		f.Close()
+		return err
+	}
 	buf, err := cachedTrace(b, pes, sequential)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return cache.SimulateAll(buf, cfgs)
+	buf.ReplayAll(sinks...)
+	return nil
+}
+
+// runStats returns the engine statistics and Table 1 reference counter
+// for one cell. With a store attached it is served from the cell's run
+// sidecar (generating the cell on first need); otherwise it runs the
+// emulator.
+func runStats(b bench.Benchmark, pes int, sequential bool) (core.Stats, *trace.Counter, error) {
+	s := activeStore()
+	var k tracestore.Key
+	if s != nil {
+		var err error
+		if k, err = bench.EnsureStored(b, pes, sequential); err != nil {
+			return core.Stats{}, nil, err
+		}
+		var rec bench.RunRecord
+		ok, err := s.LoadSidecar(k, &rec)
+		if err != nil {
+			return core.Stats{}, nil, err
+		}
+		if ok {
+			return rec.Stats, &rec.Refs, nil
+		}
+		// Trace present but sidecar absent (foreign or interrupted
+		// store write): fall through to a direct run.
+	}
+	res, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential})
+	if err != nil {
+		return core.Stats{}, nil, err
+	}
+	if s != nil {
+		// Repair the missing sidecar so the next query is served from
+		// the store again (best effort: the stats themselves are good).
+		if err := s.PutSidecar(k, bench.RunRecord{Success: res.Success, Stats: res.Stats, Refs: *res.Refs}); err != nil {
+			progress("sidecar repair for %v failed: %v", k, err)
+		}
+	}
+	return res.Stats, res.Refs, nil
+}
+
+// TraceTarget names one trace-generation cell for GenerateTraces.
+type TraceTarget struct {
+	// Benchmark is the workload to trace.
+	Benchmark bench.Benchmark
+	// PEs is the processing-element count.
+	PEs int
+	// Sequential selects the CGE-free WAM baseline compilation.
+	Sequential bool
+}
+
+// GenerateTraces makes sure the attached store holds every target
+// cell, generating missing ones concurrently on the grid's bounded
+// worker pool (SetParallelism) — each generation streaming straight
+// into the store's compact codec. Duplicate targets and targets
+// already present cost nothing. It requires an attached store.
+func GenerateTraces(targets []TraceTarget) error {
+	if activeStore() == nil {
+		return fmt.Errorf("experiments: GenerateTraces needs an attached trace store (SetStore)")
+	}
+	return runGrid(len(targets), func(i int) error {
+		t := targets[i]
+		k, err := bench.EnsureStored(t.Benchmark, t.PEs, t.Sequential)
+		if err != nil {
+			return fmt.Errorf("generating %v: %w", k, err)
+		}
+		progress("stored %v", k)
+		return nil
+	})
+}
+
+// simulateAll replays one memoized trace through all configurations in
+// a single fan-out pass and returns per-configuration statistics. With
+// a store attached the pass streams from disk.
+func simulateAll(b bench.Benchmark, pes int, sequential bool, cfgs []cache.Config) ([]cache.Stats, error) {
+	if activeStore() == nil {
+		buf, err := cachedTrace(b, pes, sequential)
+		if err != nil {
+			return nil, err
+		}
+		return cache.SimulateAll(buf, cfgs)
+	}
+	return cache.SimulateAllStream(cfgs, func(sinks []trace.Sink) error {
+		return replayCell(b, pes, sequential, sinks...)
+	})
 }
 
 // protocolRatios computes each benchmark's write-in broadcast traffic

@@ -7,7 +7,7 @@ import (
 	"io"
 )
 
-// Binary trace format (little endian):
+// Legacy binary trace format (little endian):
 //
 //	magic   [4]byte  "RWT1"
 //	count   uint64   number of references
@@ -15,8 +15,16 @@ import (
 //
 // This mirrors the paper's Figure 1 pipeline, where the emulator writes a
 // memory-reference trace file that the coherent-cache simulators consume.
+// The compact chunked successor format ("RWT2" — delta/varint encoded,
+// CRC-protected, streaming) lives in codec.go and is specified in
+// docs/TRACE_FORMAT.md; the readers here sniff the magic and accept
+// either format.
 
 var fileMagic = [4]byte{'R', 'W', 'T', '1'}
+
+// maxRefs bounds declared reference counts on decode, rejecting
+// implausible headers before allocating.
+const maxRefs = 1 << 31
 
 // WriteTo serializes the buffer to w in the binary trace format.
 func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
@@ -50,10 +58,28 @@ func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadFrom parses a binary trace stream written by WriteTo, replacing the
-// buffer's contents.
+// ReadFrom parses a binary trace stream written by WriteTo (or, sniffed
+// by magic, a compact chunked trace written by WriteCompact or a
+// ChunkWriter), replacing the buffer's contents.
 func (b *Buffer) ReadFrom(r io.Reader) (int64, error) {
-	br := bufio.NewReader(r)
+	// Sized so NewChunkReader reuses this reader instead of stacking a
+	// second buffer on top for the compact path.
+	br := bufio.NewReaderSize(r, 1<<16)
+	if magic, err := br.Peek(4); err == nil && [4]byte(magic) == compactMagic {
+		cr, err := NewChunkReader(br)
+		if err != nil {
+			return 0, err
+		}
+		n := cr.Meta().Refs
+		if n < 0 || n > maxRefs {
+			n = 0
+		}
+		b.Refs = make([]Ref, 0, n)
+		if _, err := cr.Replay(b); err != nil {
+			return cr.r.n, err
+		}
+		return cr.r.n, nil
+	}
 	var read int64
 	var magic [4]byte
 	n, err := io.ReadFull(br, magic[:])
@@ -71,7 +97,6 @@ func (b *Buffer) ReadFrom(r io.Reader) (int64, error) {
 		return read, fmt.Errorf("trace: reading count: %w", err)
 	}
 	count := binary.LittleEndian.Uint64(hdr[:])
-	const maxRefs = 1 << 31
 	if count > maxRefs {
 		return read, fmt.Errorf("trace: implausible reference count %d", count)
 	}
@@ -144,11 +169,20 @@ func (s *StreamWriter) Close() error {
 	return s.w.Flush()
 }
 
-// ReadStream parses a trace written by StreamWriter (or WriteTo),
-// calling sink.Add for each reference without materializing the trace.
-// It returns the number of references delivered.
+// ReadStream parses a trace written by StreamWriter or WriteTo (or,
+// sniffed by magic, a compact chunked trace), calling sink.Add — or
+// AddBatch for a BatchSink reading a compact trace — for each reference
+// without materializing the trace. It returns the number of references
+// delivered.
 func ReadStream(r io.Reader, sink Sink) (int64, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	if magic, err := br.Peek(4); err == nil && [4]byte(magic) == compactMagic {
+		cr, err := NewChunkReader(br)
+		if err != nil {
+			return 0, err
+		}
+		return cr.Replay(sink)
+	}
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return 0, fmt.Errorf("trace: reading magic: %w", err)

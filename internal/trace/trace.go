@@ -29,9 +29,17 @@
 // be read after Close returns. Buffer.ReplayAll packages the common
 // case: one buffered trace, many concurrent consumers, one pass.
 //
-// The on-disk format (a fixed 8-byte little-endian record per Ref,
-// written by Buffer.WriteTo or StreamWriter and consumed by
-// Buffer.ReadFrom or ReadStream) is documented in file.go.
+// # On-disk forms
+//
+// Two binary formats exist, sniffed by magic at every read entry
+// point (Buffer.ReadFrom, ReadStream): the legacy fixed 8-byte record
+// format ("RWT1", file.go) and the compact chunked codec ("RWT2",
+// codec.go — delta/varint encoded, CRC-protected, streaming in both
+// directions; specified in docs/TRACE_FORMAT.md). ChunkWriter encodes
+// a live stream without knowing its length; ChunkReader.Replay
+// decodes chunk by chunk into any Sink, so traces larger than memory
+// replay in constant space. The persistent trace store built on the
+// compact codec lives in internal/tracestore.
 package trace
 
 import "fmt"

@@ -1,0 +1,431 @@
+// Package tracestore is the persistent, content-addressed trace store:
+// the paper's "trace file" stage made durable. The RAP-WAM emulator is
+// by far the most expensive stage of the Figure 1 pipeline, and a trace
+// is a pure function of (benchmark, PEs, sequential, emulator version) —
+// so each such cell is generated once, written to disk in the compact
+// chunked codec (internal/trace, docs/TRACE_FORMAT.md), and replayed
+// from disk by every later experiment. Replay is streaming: chunks are
+// decoded straight into trace.BatchSink consumers, so a trace larger
+// than RAM still feeds a full grid of cache simulators.
+//
+// # Layout
+//
+// A store is a flat directory. Each cell owns two files:
+//
+//	<bench>-p<PEs>-<seq|par>-<emuver>-<key hash>.rwt2   compact trace
+//	<same stem>.json                                    run sidecar
+//
+// The name's human-readable prefix is advisory; the 12-hex-digit
+// SHA-256 prefix of the canonical key string is what addresses the
+// cell, and every read re-verifies the decoded header against the key.
+// The sidecar carries the run's engine statistics (JSON), so experiment
+// drivers that need only core.Stats never re-run the emulator either.
+//
+// # Concurrency
+//
+// Writes go through a temp file in the store directory followed by an
+// atomic rename, so concurrent writers (including separate processes
+// sharing a store directory) race benignly: one complete file wins.
+// Readers only ever observe complete files. In-process single-flight
+// deduplication is the caller's job (the experiments grid runner keys
+// generation on the cell).
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Key identifies one trace cell: the exact run that would regenerate
+// the trace.
+type Key struct {
+	// Benchmark is the benchmark name (bench.ByName resolvable).
+	Benchmark string
+	// PEs is the processing-element count of the run.
+	PEs int
+	// Sequential selects the CGE-free WAM baseline compilation.
+	Sequential bool
+	// EmulatorVersion pins the engine build (core.EmulatorVersion);
+	// traces from other versions are distinct cells.
+	EmulatorVersion string
+}
+
+// String renders the key in the canonical, hashed form.
+func (k Key) String() string {
+	mode := "par"
+	if k.Sequential {
+		mode = "seq"
+	}
+	return fmt.Sprintf("%s@%dPE/%s/%s", k.Benchmark, k.PEs, mode, k.EmulatorVersion)
+}
+
+// hash returns the 12-hex-digit content address of the key.
+func (k Key) hash() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d\x00%t\x00%s\x00v%d",
+		k.Benchmark, k.PEs, k.Sequential, k.EmulatorVersion, trace.CodecVersion)))
+	return hex.EncodeToString(h[:6])
+}
+
+// stem is the key's file name without extension.
+func (k Key) stem() string {
+	mode := "par"
+	if k.Sequential {
+		mode = "seq"
+	}
+	name := sanitize(k.Benchmark)
+	return fmt.Sprintf("%s-p%d-%s-%s-%s", name, k.PEs, mode, sanitize(k.EmulatorVersion), k.hash())
+}
+
+// sanitize keeps file names portable.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// TraceExt is the file extension of stored compact traces.
+const TraceExt = ".rwt2"
+
+// Stats are the store's hit/miss counters since process start (or the
+// last ResetStats). Misses count Has/Replay/Load lookups that found no
+// file; Puts counts completed writes.
+type Stats struct {
+	Hits, Misses, Puts int64
+}
+
+// Store is a trace store rooted at one directory.
+type Store struct {
+	dir    string
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// Open creates (if needed) and opens a store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("tracestore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file a key's trace is (or would be) stored at.
+func (s *Store) Path(k Key) string {
+	return filepath.Join(s.dir, k.stem()+TraceExt)
+}
+
+// sidecarPath returns the key's run-sidecar file.
+func (s *Store) sidecarPath(k Key) string {
+	return filepath.Join(s.dir, k.stem()+".json")
+}
+
+// Has reports whether the store holds a trace for k. It counts toward
+// the hit/miss statistics.
+func (s *Store) Has(k Key) bool {
+	_, err := os.Stat(s.Path(k))
+	if err == nil {
+		s.hits.Add(1)
+		return true
+	}
+	s.misses.Add(1)
+	return false
+}
+
+// Stats returns the hit/miss/put counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+}
+
+// ResetStats zeroes the counters.
+func (s *Store) ResetStats() {
+	s.hits.Store(0)
+	s.misses.Store(0)
+	s.puts.Store(0)
+}
+
+// verifyMeta checks a decoded header against the key it was looked up
+// under, so a hand-edited or mis-copied store file cannot silently
+// stand in for a different cell.
+func verifyMeta(k Key, m trace.Meta) error {
+	if m.Benchmark != k.Benchmark || m.PEs != k.PEs ||
+		m.Sequential != k.Sequential || m.EmulatorVersion != k.EmulatorVersion {
+		return fmt.Errorf("tracestore: file for %v carries header %s@%dPE (seq=%t) %s",
+			k, m.Benchmark, m.PEs, m.Sequential, m.EmulatorVersion)
+	}
+	return nil
+}
+
+// Replay streams the stored trace for k into sink — chunk-at-a-time
+// decode feeding BatchSink consumers directly, never materializing the
+// trace — and returns its metadata (with footer-verified counts).
+// A missing cell returns an error satisfying errors.Is(err, fs.ErrNotExist).
+func (s *Store) Replay(k Key, sink trace.Sink) (trace.Meta, error) {
+	f, err := os.Open(s.Path(k))
+	if err != nil {
+		s.misses.Add(1)
+		return trace.Meta{}, err
+	}
+	defer f.Close()
+	s.hits.Add(1)
+	cr, err := trace.NewChunkReader(f)
+	if err != nil {
+		return trace.Meta{}, fmt.Errorf("tracestore: %s: %w", s.Path(k), err)
+	}
+	if err := verifyMeta(k, cr.Meta()); err != nil {
+		return cr.Meta(), err
+	}
+	if _, err := cr.Replay(sink); err != nil {
+		return cr.Meta(), fmt.Errorf("tracestore: %s: %w", s.Path(k), err)
+	}
+	return cr.Meta(), nil
+}
+
+// Load fully decodes the stored trace for k into a Buffer (for callers
+// that want the in-memory form; prefer Replay for streaming).
+func (s *Store) Load(k Key) (*trace.Buffer, trace.Meta, error) {
+	f, err := os.Open(s.Path(k))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, trace.Meta{}, err
+	}
+	defer f.Close()
+	s.hits.Add(1)
+	buf, meta, err := trace.ReadCompact(f)
+	if err != nil {
+		return nil, meta, fmt.Errorf("tracestore: %s: %w", s.Path(k), err)
+	}
+	if err := verifyMeta(k, meta); err != nil {
+		return nil, meta, err
+	}
+	return buf, meta, nil
+}
+
+// Put generates and stores the trace for k: gen receives a Sink (the
+// compact encoder over a temp file) and must emit the full reference
+// stream; on success the temp file is atomically renamed into place.
+// Any error (from gen or the encoder) leaves the store unchanged.
+func (s *Store) Put(k Key, gen func(trace.Sink) error) (retErr error) {
+	tmp, err := os.CreateTemp(s.dir, "put-*"+TraceExt+".tmp")
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	defer func() {
+		if retErr != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	cw, err := trace.NewChunkWriter(tmp, trace.Meta{
+		Benchmark:       k.Benchmark,
+		PEs:             k.PEs,
+		Sequential:      k.Sequential,
+		EmulatorVersion: k.EmulatorVersion,
+	})
+	if err != nil {
+		return err
+	}
+	if err := gen(cw); err != nil {
+		return err
+	}
+	if err := cw.Close(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(k)); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// PutSidecar stores v as the key's JSON run sidecar (atomically, like
+// Put). The experiments grid stores the generating run's engine
+// statistics here so stats-only drivers skip the emulator too.
+func (s *Store) PutSidecar(k Key, v any) (retErr error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("tracestore: sidecar: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.json.tmp")
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	defer func() {
+		if retErr != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.sidecarPath(k)); err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	return nil
+}
+
+// LoadSidecar unmarshals the key's JSON run sidecar into v, reporting
+// ok=false (without error) when no sidecar exists.
+func (s *Store) LoadSidecar(k Key, v any) (ok bool, err error) {
+	data, err := os.ReadFile(s.sidecarPath(k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("tracestore: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("tracestore: sidecar %s: %w", s.sidecarPath(k), err)
+	}
+	return true, nil
+}
+
+// Entry describes one stored trace found by List.
+type Entry struct {
+	// Path is the trace file path.
+	Path string
+	// Meta is the decoded header (counts are header-declared; run
+	// Verify for footer-checked totals).
+	Meta trace.Meta
+	// Bytes is the file size.
+	Bytes int64
+}
+
+// List scans the store directory and returns every readable trace,
+// sorted by file name. Files whose header does not parse are skipped
+// (Verify reports them).
+func (s *Store) List() ([]Entry, error) {
+	names, err := s.traceFiles()
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		meta, size, err := readHeader(path)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Path: path, Meta: meta, Bytes: size})
+	}
+	return out, nil
+}
+
+// Verify fully decodes every trace in the store, checking header and
+// chunk CRCs and footer totals, and returns one error per corrupt file
+// (nil if the whole store is clean).
+func (s *Store) Verify() []error {
+	names, err := s.traceFiles()
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		if err := verifyFile(path); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	return errs
+}
+
+// traceFiles returns the sorted .rwt2 file names in the store.
+func (s *Store) traceFiles() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.Type().IsRegular() || !strings.HasSuffix(e.Name(), TraceExt) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// readHeader opens path and decodes only the compact header.
+func readHeader(path string) (trace.Meta, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Meta{}, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return trace.Meta{}, 0, err
+	}
+	cr, err := trace.NewChunkReader(f)
+	if err != nil {
+		return trace.Meta{}, info.Size(), err
+	}
+	return cr.Meta(), info.Size(), nil
+}
+
+// verifyFile fully decodes one trace file.
+func verifyFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cr, err := trace.NewChunkReader(f)
+	if err != nil {
+		return err
+	}
+	_, err = cr.Replay(trace.Discard)
+	return err
+}
+
+// ReadFileMeta decodes the header of a compact trace file outside any
+// store (for CLI inspection of bare .rwt2 files).
+func ReadFileMeta(path string) (trace.Meta, int64, error) { return readHeader(path) }
+
+// ReadFileFull fully decodes a compact trace file and returns its
+// metadata with footer-verified totals (Refs, PerPE).
+func ReadFileFull(path string) (trace.Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Meta{}, err
+	}
+	defer f.Close()
+	cr, err := trace.NewChunkReader(f)
+	if err != nil {
+		return trace.Meta{}, err
+	}
+	if _, err := cr.Replay(trace.Discard); err != nil {
+		return cr.Meta(), err
+	}
+	return cr.Meta(), nil
+}
+
+// VerifyFile fully decodes a compact trace file outside any store.
+func VerifyFile(path string) error { return verifyFile(path) }

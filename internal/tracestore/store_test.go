@@ -1,0 +1,224 @@
+package tracestore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testKey() Key {
+	return Key{Benchmark: "synth", PEs: 4, Sequential: false, EmulatorVersion: "emuT"}
+}
+
+// synthRefs builds a small deterministic trace.
+func synthRefs(n, pes int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	addr := uint32(0x1000)
+	for i := range refs {
+		pe := uint8(i / 7 % pes)
+		addr += uint32(i%5) - 2
+		op := trace.OpRead
+		if i%3 == 0 {
+			op = trace.OpWrite
+		}
+		refs[i] = trace.Ref{Addr: addr + uint32(pe)<<16, PE: pe, Op: op,
+			Obj: trace.ObjType(1 + i%(trace.NumObjTypes-1))}
+	}
+	return refs
+}
+
+func TestStorePutReplayRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	refs := synthRefs(30000, k.PEs)
+	if s.Has(k) {
+		t.Fatal("empty store reports Has")
+	}
+	if err := s.Put(k, func(sink trace.Sink) error {
+		for _, r := range refs {
+			sink.Add(r)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(k) {
+		t.Fatal("store misses just-written key")
+	}
+
+	var got trace.Buffer
+	meta, err := s.Replay(k, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Refs != int64(len(refs)) || meta.Benchmark != k.Benchmark {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if len(got.Refs) != len(refs) {
+		t.Fatalf("replayed %d refs, want %d", len(got.Refs), len(refs))
+	}
+	for i := range refs {
+		if got.Refs[i] != refs[i] {
+			t.Fatalf("ref %d mismatch", i)
+		}
+	}
+
+	buf, _, err := s.Load(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Refs) != len(refs) {
+		t.Fatalf("Load got %d refs", len(buf.Refs))
+	}
+
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreMissIsNotExist(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, err := s.Replay(testKey(), trace.Discard); !os.IsNotExist(err) {
+		t.Fatalf("miss error = %v, want not-exist", err)
+	}
+}
+
+func TestStorePutErrorLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	k := testKey()
+	genErr := os.ErrDeadlineExceeded
+	if err := s.Put(k, func(sink trace.Sink) error {
+		sink.Add(trace.Ref{Addr: 1, PE: 0, Obj: trace.ObjHeap})
+		return genErr
+	}); err != genErr {
+		t.Fatalf("Put returned %v, want the generator's error", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed Put left %d files behind", len(entries))
+	}
+}
+
+func TestStoreRejectsKeyMismatch(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	k := testKey()
+	if err := s.Put(k, func(sink trace.Sink) error {
+		sink.Add(trace.Ref{Addr: 1, PE: 0, Obj: trace.ObjHeap})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the file under a different key's name: the header check must
+	// catch the forgery.
+	other := k
+	other.Benchmark = "other"
+	data, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(other), data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Replay(other, trace.Discard); err == nil {
+		t.Fatal("header/key mismatch accepted")
+	} else if !strings.Contains(err.Error(), "carries header") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStoreSidecar(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	k := testKey()
+	type payload struct {
+		Cycles int64
+		Name   string
+	}
+	if ok, err := s.LoadSidecar(k, &payload{}); err != nil || ok {
+		t.Fatalf("empty sidecar: ok=%v err=%v", ok, err)
+	}
+	want := payload{Cycles: 12345, Name: "x"}
+	if err := s.PutSidecar(k, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	ok, err := s.LoadSidecar(k, &got)
+	if err != nil || !ok {
+		t.Fatalf("LoadSidecar: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("sidecar = %+v, want %+v", got, want)
+	}
+}
+
+func TestStoreListAndVerify(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	keys := []Key{
+		{Benchmark: "a", PEs: 1, Sequential: true, EmulatorVersion: "e"},
+		{Benchmark: "b", PEs: 2, Sequential: false, EmulatorVersion: "e"},
+	}
+	for i, k := range keys {
+		refs := synthRefs(1000*(i+1), k.PEs)
+		if err := s.Put(k, func(sink trace.Sink) error {
+			for _, r := range refs {
+				sink.Add(r)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("List found %d entries, want 2", len(entries))
+	}
+	if errs := s.Verify(); len(errs) != 0 {
+		t.Fatalf("Verify on clean store: %v", errs)
+	}
+
+	// Corrupt one payload byte near the end of the larger file; Verify
+	// must name exactly that file.
+	path := s.Path(keys[1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-40] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	errs := s.Verify()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), filepath.Base(path)) {
+		t.Fatalf("Verify after corruption: %v", errs)
+	}
+}
+
+func TestKeyHashDistinguishesCells(t *testing.T) {
+	base := testKey()
+	variants := []Key{
+		{Benchmark: "synth2", PEs: 4, Sequential: false, EmulatorVersion: "emuT"},
+		{Benchmark: "synth", PEs: 8, Sequential: false, EmulatorVersion: "emuT"},
+		{Benchmark: "synth", PEs: 4, Sequential: true, EmulatorVersion: "emuT"},
+		{Benchmark: "synth", PEs: 4, Sequential: false, EmulatorVersion: "emuU"},
+	}
+	seen := map[string]bool{base.stem(): true}
+	for _, v := range variants {
+		if seen[v.stem()] {
+			t.Fatalf("key %v collides", v)
+		}
+		seen[v.stem()] = true
+	}
+}

@@ -29,6 +29,18 @@
 // The experiment drivers that regenerate every table and figure of the
 // paper live behind the Figure2, Table2, Table3, Figure4, MLIPS and
 // BusStudy functions; `go test -bench .` runs them all.
+//
+// # Persistent traces
+//
+// Traces are pure functions of (benchmark, PEs, sequential, emulator
+// version), so they persist: SetTraceDir attaches a content-addressed
+// store of compact binary traces (docs/TRACE_FORMAT.md) that the
+// experiment drivers and TraceBenchmark consult before running the
+// emulator, streaming generation to disk and replay from disk so even
+// larger-than-RAM traces flow through the full simulator grid. With a
+// warm store a complete experiment sweep performs zero emulator runs
+// (EngineRuns is the observable). GenerateTraces warms cells in bulk,
+// concurrently; cmd/tracegen is its CLI.
 package rapwam
 
 import (
@@ -202,8 +214,23 @@ func PaperBenchmarks() []Benchmark { return bench.Paper() }
 // (nrev, queens, primes, zebra) used by the Table 3 fit study.
 func LargeBenchmarks() []Benchmark { return bench.Large() }
 
-// BenchmarkByName looks a benchmark up by name.
+// BenchmarkByName looks a benchmark up by name: every fixed name in
+// BenchmarkNames plus the parameterized variants ("deriv-d<N>",
+// "deriv-<nodes>", "qsort-<len>", "matrix-<n>", "nrev-<len>",
+// "queens-<n>", "primes-<limit>").
 func BenchmarkByName(name string) (Benchmark, bool) { return bench.ByName(name) }
+
+// BenchmarkNames returns the name of every fixed benchmark (the paper
+// suite, the large sequential suite and deriv-checked); the
+// parameterized variants documented on BenchmarkByName resolve in
+// addition to these.
+func BenchmarkNames() []string { return bench.Names() }
+
+// EmulatorVersion identifies the trace-relevant behaviour of the
+// engine + compiler + benchmark stack. It participates in trace-store
+// keys: stored traces from other versions are ignored rather than
+// silently replayed.
+func EmulatorVersion() string { return core.EmulatorVersion }
 
 // RunBenchmark executes a benchmark with the given parallelism,
 // validating its answer.

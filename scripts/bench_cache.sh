@@ -1,16 +1,18 @@
 #!/bin/sh
-# bench_cache.sh — run the cache-replay benchmarks and record the result
-# as BENCH_cache.json, so the simulator's performance trajectory
-# (simrefs/s, allocs/op) is captured per PR.
+# bench_cache.sh — run the cache-replay and trace-codec benchmarks and
+# record the result as BENCH_cache.json, so the performance trajectory
+# of the hot paths (simrefs/s, trace encode/decode refs/s, allocs/op)
+# is captured per PR.
 #
 # Usage: scripts/bench_cache.sh [output.json]
 #   BENCH_COUNT=N   repetitions per benchmark (default 1)
-#   BENCH_FILTER=RE benchmarks to run (default the replay pipeline set)
+#   BENCH_FILTER=RE benchmarks to run (default the replay pipeline +
+#                   trace codec set)
 set -eu
 
 out="${1:-BENCH_cache.json}"
 count="${BENCH_COUNT:-1}"
-filter="${BENCH_FILTER:-BenchmarkReplaySequential|BenchmarkReplayFanOut|BenchmarkReplaySteadyState|BenchmarkCacheSimThroughput}"
+filter="${BENCH_FILTER:-BenchmarkReplaySequential|BenchmarkReplayFanOut|BenchmarkReplaySteadyState|BenchmarkCacheSimThroughput|BenchmarkTraceEncode|BenchmarkTraceDecode}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 

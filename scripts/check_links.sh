@@ -1,0 +1,40 @@
+#!/bin/sh
+# check_links.sh — verify that every relative markdown link in the
+# repo's published documentation (README, docs/, examples/) resolves
+# to an existing file. External links (http/https) and pure anchors
+# are skipped; no network access needed. Working-notes files carried
+# over from external sources (SNIPPETS.md, PAPERS.md, ...) are out of
+# scope.
+#
+# Usage: scripts/check_links.sh   (from the repo root)
+set -eu
+
+fail=0
+for md in README.md docs/*.md examples/*/README.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # Extract (target) parts of [text](target) links, one per line.
+    grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null | sed 's/.*(\(.*\))/\1/' |
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip a trailing anchor.
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in $md: $target" >&2
+            echo broken > /tmp/check_links_failed.$$
+        fi
+    done
+    if [ -f /tmp/check_links_failed.$$ ]; then
+        rm -f /tmp/check_links_failed.$$
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_links.sh: broken links found" >&2
+    exit 1
+fi
+echo "check_links.sh: all relative markdown links resolve"
