@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet docs
+.PHONY: all build test race bench bench-engine fmt vet docs
 
 all: build test
 
@@ -13,13 +13,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/trace/ ./internal/cache/ ./internal/experiments/
+	$(GO) test -race ./internal/core/ ./internal/mem/ ./internal/trace/ ./internal/cache/ ./internal/experiments/
 
 # bench runs the cache-replay benchmarks with -benchmem and records the
 # result in BENCH_cache.json (simrefs/s, allocs/op) so the simulator's
 # perf trajectory is tracked per PR. BENCH_COUNT=5 for quieter numbers.
 bench:
 	sh scripts/bench_cache.sh BENCH_cache.json
+
+# bench-engine runs the emulator benchmarks (bare engine + cold trace
+# generation, refs/s and MLIPS) and records BENCH_engine.json.
+bench-engine:
+	sh scripts/bench_engine.sh BENCH_engine.json
 
 # docs checks the published markdown (broken relative links) and runs
 # the committed Example functions.

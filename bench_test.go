@@ -290,7 +290,7 @@ func BenchmarkAblationIndexing(b *testing.B) {
 		var ctl, total int64
 		for a, n := range byArea {
 			total += n
-			if a.String() == "control" {
+			if trace.Area(a) == trace.AreaControl {
 				ctl = n
 			}
 		}

@@ -30,10 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"repro"
+
+	"repro/internal/profflag"
 )
 
 var protocols = map[string]rapwam.Protocol{
@@ -150,40 +150,8 @@ func usageExit() {
 // error exit still flushes a valid CPU profile.
 var stopProfiles = func() {}
 
-// startProfiles begins CPU profiling and returns a function that stops
-// it and writes the heap profile; the returned function is idempotent
-// so it can run on the normal path, via defer, and from fatal.
 func startProfiles(cpuPath, memPath string) func() {
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-	}
-	done := false
-	return func() {
-		if done {
-			return
-		}
-		done = true
-		if cpuPath != "" {
-			pprof.StopCPUProfile()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fatal(err)
-			}
-			runtime.GC() // report live steady-state heap, not transients
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
-			f.Close()
-		}
-	}
+	return profflag.Start(cpuPath, memPath, fatal)
 }
 
 // runSweep simulates the whole protocol × size grid with the streaming

@@ -28,10 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"repro"
+
+	"repro/internal/profflag"
 )
 
 func main() {
@@ -49,34 +49,11 @@ func main() {
 	)
 	flag.Parse()
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProf != "" {
-		// Log-only on failure: exiting here would skip the deferred
-		// StopCPUProfile and truncate the CPU profile.
-		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				return
-			}
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-			}
-			f.Close()
-		}()
-	}
+	stop := profflag.Start(*cpuProf, *memProf, func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	})
+	defer stop()
 
 	rapwam.SetParallelism(*par)
 	var store *rapwam.TraceStore

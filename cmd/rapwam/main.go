@@ -13,6 +13,12 @@
 // selects the compact chunked codec (delta/varint encoded,
 // CRC-protected — see docs/TRACE_FORMAT.md); any other path writes
 // the legacy fixed-record format. cmd/cachesim reads both.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, for
+// working on the emulator hot path:
+//
+//	rapwam -cpuprofile cpu.out -bench qsort -p 4
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"repro"
 
+	"repro/internal/profflag"
 	"repro/internal/trace"
 )
 
@@ -36,8 +43,12 @@ func main() {
 		stats     = flag.Bool("stats", false, "print instrumentation statistics")
 		listing   = flag.Bool("listing", false, "print the compiled code and exit")
 		benchName = flag.String("bench", "", "run a built-in benchmark (deriv, tak, qsort, matrix, nrev, queens, primes, zebra)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+	stopProfiles = startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	if *benchName != "" {
 		runBench(*benchName, *pes, *seq, *stats, *traceOut)
@@ -73,6 +84,7 @@ func main() {
 		})
 	}
 	if !res.Success {
+		stopProfiles()
 		os.Exit(1)
 	}
 }
@@ -164,6 +176,15 @@ func writeTrace(tr *rapwam.Trace, path string, meta rapwam.TraceMeta) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "rapwam:", err)
 	os.Exit(1)
+}
+
+// stopProfiles is installed before any work, so an error exit still
+// flushes a valid CPU profile (see internal/profflag).
+var stopProfiles = func() {}
+
+func startProfiles(cpuPath, memPath string) func() {
+	return profflag.Start(cpuPath, memPath, fatal)
 }

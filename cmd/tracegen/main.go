@@ -9,6 +9,12 @@
 //	tracegen inspect  -tracedir DIR | file.rwt2...
 //	tracegen verify   -tracedir DIR | file.rwt2...
 //
+// generate accepts -cpuprofile/-memprofile to capture pprof profiles
+// of bulk generation (the emulator + codec hot path):
+//
+//	tracegen generate -cpuprofile cpu.out -tracedir traces -bench qsort -pes 4
+//	go tool pprof cpu.out
+//
 // generate runs the emulator once per missing (benchmark, PEs) cell —
 // independent cells concurrently on a bounded worker pool — streaming
 // each trace into the store's compact codec as it is produced, so even
@@ -39,6 +45,8 @@ import (
 	"strings"
 
 	"repro"
+
+	"repro/internal/profflag"
 )
 
 func main() {
@@ -71,8 +79,17 @@ func usage() {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
 	os.Exit(1)
+}
+
+// stopProfiles is installed before any work, so an error exit still
+// flushes a valid CPU profile (see internal/profflag).
+var stopProfiles = func() {}
+
+func startProfiles(cpuPath, memPath string) func() {
+	return profflag.Start(cpuPath, memPath, fatal)
 }
 
 // parseBenches expands a -bench list (names or presets) into
@@ -146,11 +163,15 @@ func cmdGenerate(args []string) {
 		mode    = fs.String("mode", "auto", "auto (parallel + 1-PE sequential baseline) | par | seq")
 		par     = fs.Int("par", 0, "concurrent generations (0 = GOMAXPROCS)")
 		verbose = fs.Bool("v", false, "report each generated cell on stderr")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile (after generation) to this file")
 	)
 	fs.Parse(args)
 	if *dir == "" || fs.NArg() != 0 {
 		usage()
 	}
+	stopProfiles = startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 	bs, err := parseBenches(*benches)
 	if err != nil {
 		fatal(err)

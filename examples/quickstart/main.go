@@ -43,8 +43,11 @@ func main() {
 	fmt.Printf("speedup: %.2fx\n\n", float64(seq.Stats.Cycles)/float64(par.Stats.Cycles))
 
 	fmt.Printf("reference mix at 8 PEs (paper Table 1 classification):\n")
-	for area, n := range par.Refs.ByArea() {
-		fmt.Printf("  %-8s %8d\n", area, n)
+	byArea := par.Refs.ByArea()
+	for area, n := range byArea {
+		if n > 0 {
+			fmt.Printf("  %-8s %8d\n", rapwam.Area(area), n)
+		}
 	}
 	fmt.Printf("global (shared) share: %.1f%%\n", 100*par.Refs.GlobalShare())
 }

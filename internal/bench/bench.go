@@ -195,6 +195,10 @@ func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 	}
+	// The result is self-contained (bindings are rendered strings), so
+	// the engine's memory slab can go back to the pool: the next run of
+	// the same shape skips the O(address space) zeroing.
+	eng.Close()
 	if b.Check != nil {
 		if err := b.Check(res); err != nil {
 			return nil, fmt.Errorf("bench %s: wrong answer: %w", b.Name, err)

@@ -10,7 +10,7 @@ import (
 
 // arith executes an OpArith instruction; false means arithmetic failure
 // (type error or division by zero), which backtracks like any failure.
-func (w *worker) arith(ins isa.Instr) bool {
+func (w *worker) arith(ins *isa.Instr) bool {
 	op := isa.ArithOp(ins.N)
 	if op == isa.ArithDeref {
 		d := w.deref(w.regs[ins.R2])
@@ -123,7 +123,8 @@ func (w *worker) builtin(b isa.Builtin, arity int) (ok, jumped bool) {
 	case isa.BiLength:
 		return w.biLength(), false
 	}
-	panic(machineError{fmt.Sprintf("pe%d: unimplemented builtin %v/%d", w.pe, b, arity)})
+	w.machinePanic(fmt.Sprintf("pe%d: unimplemented builtin %v/%d", w.pe, b, arity))
+	panic("unreachable")
 }
 
 // structEqual is ==/2: structural identity without binding. Reads are

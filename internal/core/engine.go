@@ -8,7 +8,11 @@
 // every cycle each worker executes one instruction (or one scheduler
 // action) in PE order. This reproduces the paper's software-emulation
 // methodology (its measurements also came from an instrumented emulator,
-// not hardware) while making every run bit-reproducible.
+// not hardware) while making every run bit-reproducible. The default
+// dispatcher elides provably inert steps of that schedule — sole-runner
+// quanta, skipped no-op polls — and is observationally identical to the
+// reference round-robin (Config.ReferenceDispatch, TestDispatcherParity,
+// and the golden trace digests in internal/bench all pin this).
 //
 // Instrumentation notes:
 //   - Every data reference goes through mem.Memory and is classified
@@ -34,7 +38,8 @@ import (
 
 // Config parameterizes a run.
 type Config struct {
-	// PEs is the number of workers (processing elements).
+	// PEs is the number of workers (processing elements), at most
+	// trace.MaxPEs.
 	PEs int
 	// Layout overrides the per-worker memory layout; zero value uses
 	// mem.DefaultLayout sized to PEs.
@@ -46,6 +51,14 @@ type Config struct {
 	// StealInterval is the number of idle cycles between steal probes
 	// (default 4).
 	StealInterval int
+	// ReferenceDispatch forces the plain one-instruction-per-tick
+	// round-robin scheduler with every poll and steal sweep executed
+	// for real (no quantum dispatch, no inert-poll elision). The
+	// optimized dispatcher is trace- and stats-identical to it by
+	// construction; this knob exists so parity tests can prove that
+	// against the genuinely unoptimized baseline (and as a debugging
+	// fallback).
+	ReferenceDispatch bool
 }
 
 // WorkerState describes what a worker is doing on a given cycle.
@@ -148,6 +161,24 @@ type Engine struct {
 	answerE int // query environment address at OpStop
 	out     bytes.Buffer
 
+	// nRun counts workers in StateRun, maintained by worker.setState;
+	// the quantum dispatcher's eligibility check starts with it.
+	nRun int
+	// schedSeq increments on every action another worker could observe
+	// at its next scheduler step: a goal pushed to or popped from a
+	// goal stack, a parcall frame's pending/status words written, a
+	// message (kill flag) sent. Two uses, both exactness-preserving:
+	// the quantum dispatcher breaks its straight-line loop when the
+	// sequence moves (so every worker observes the event on the cycle
+	// the reference scheduler would deliver it), and inert waiters and
+	// idle workers skip their no-op polls/steal probes while the
+	// sequence is unchanged since the poll that proved them inert.
+	schedSeq uint64
+	// elide enables the inert-poll/idle-sweep elision in tick; it is
+	// off under ReferenceDispatch so the reference scheduler stays the
+	// plain per-tick baseline the optimizations are verified against.
+	elide bool
+
 	parcalls      int64
 	goalsParallel int64
 	goalsStolen   int64
@@ -159,10 +190,16 @@ type Engine struct {
 	debug bool
 }
 
-// New builds an engine for the given code.
+// New builds an engine for the given code. PEs beyond trace.MaxPEs are
+// rejected: the reference counter, the codec tooling and the cache
+// simulators all size per-PE state to that bound (and would otherwise
+// silently drop the excess PEs' counts).
 func New(code *isa.Code, cfg Config) (*Engine, error) {
 	if cfg.PEs <= 0 {
 		return nil, fmt.Errorf("core: PEs = %d, need >= 1", cfg.PEs)
+	}
+	if cfg.PEs > trace.MaxPEs {
+		return nil, fmt.Errorf("core: PEs = %d exceeds the %d-PE limit", cfg.PEs, trace.MaxPEs)
 	}
 	if cfg.MaxCycles <= 0 {
 		cfg.MaxCycles = 2e9
@@ -176,7 +213,7 @@ func New(code *isa.Code, cfg Config) (*Engine, error) {
 	}
 	layout.Workers = cfg.PEs
 	m := mem.NewMemory(layout, cfg.Sink)
-	e := &Engine{cfg: cfg, code: code, mem: m}
+	e := &Engine{cfg: cfg, code: code, mem: m, elide: !cfg.ReferenceDispatch}
 	for pe := 0; pe < cfg.PEs; pe++ {
 		e.workers = append(e.workers, newWorker(e, pe))
 	}
@@ -186,24 +223,44 @@ func New(code *isa.Code, cfg Config) (*Engine, error) {
 // Memory exposes the engine's shared memory (tests, answer extraction).
 func (e *Engine) Memory() *mem.Memory { return e.mem }
 
+// Close releases the engine's memory slab to the shared pool (see
+// mem.Memory.Release). Callers that construct engines in bulk — trace
+// generation above all — avoid re-zeroing a whole address space per
+// run this way. The engine must not be used after Close; calling Close
+// more than once is harmless.
+func (e *Engine) Close() { e.mem.Release() }
+
 // Run executes the query to the first solution (or failure).
 func (e *Engine) Run() (*Result, error) {
 	w0 := e.workers[0]
 	w0.pc = e.code.QueryEntry
 	w0.cp = cpQueryDone
-	w0.state = StateRun
+	w0.setState(StateRun)
 
-	for !e.halted {
-		if e.cycle >= e.cfg.MaxCycles {
-			return nil, fmt.Errorf("core: exceeded %d cycles (livelock or runaway program)", e.cfg.MaxCycles)
-		}
-		e.cycle++
-		for _, w := range e.workers {
-			if e.halted {
-				break
+	// Machine errors (overflows, bad code addresses) surface as panics
+	// carrying execution context. The recover lives here — once per
+	// run — instead of in a per-instruction defer on the hot path.
+	defer func() {
+		if r := recover(); r != nil {
+			if me, ok := r.(machineError); ok {
+				panic(fmt.Errorf("cycle %d pc %d: %s", e.cycle, me.pc, me.msg))
 			}
-			w.tick()
+			panic(r)
 		}
+	}()
+
+	var err error
+	switch {
+	case e.cfg.ReferenceDispatch:
+		err = e.runReference()
+	case e.cfg.PEs == 1:
+		err = e.runSingle()
+	default:
+		err = e.runMulti()
+	}
+	e.mem.Flush() // deliver staged references before anyone reads results
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{
@@ -218,6 +275,230 @@ func (e *Engine) Run() (*Result, error) {
 	return res, nil
 }
 
+// errRunaway formats the MaxCycles abort.
+func (e *Engine) errRunaway() error {
+	return fmt.Errorf("core: exceeded %d cycles (livelock or runaway program)", e.cfg.MaxCycles)
+}
+
+// runReference is the one-instruction-per-tick round-robin scheduler:
+// on every cycle each worker advances one step in PE order. It is the
+// semantic definition of the machine's interleaving; the quantum
+// dispatchers below are optimizations proven trace- and
+// stats-identical to it (TestDispatcherParity, TestGoldenTraceParity).
+func (e *Engine) runReference() error {
+	for !e.halted {
+		if e.cycle >= e.cfg.MaxCycles {
+			return e.errRunaway()
+		}
+		e.cycle++
+		for _, w := range e.workers {
+			if e.halted {
+				break
+			}
+			w.tick()
+		}
+	}
+	return nil
+}
+
+// runSingle drives a 1-PE machine. With no other workers there is
+// nothing to interleave with: while the worker keeps running,
+// instructions execute in a straight-line loop with no per-tick
+// scheduler dispatch (the quantum is unbounded — it ends only when the
+// worker changes state or the engine halts). Kill flags cannot be set
+// at 1 PE (messages only ever target other workers), so the tick-level
+// kill check is dead and skipped.
+func (e *Engine) runSingle() (err error) {
+	w := e.workers[0]
+	maxC := e.cfg.MaxCycles
+	cyc, runCyc := e.cycle, w.runCycles
+	defer func() {
+		e.cycle = cyc
+		w.runCycles = runCyc
+	}()
+	for !e.halted {
+		if cyc >= maxC {
+			return e.errRunaway()
+		}
+		if w.state == StateRun {
+			cyc++
+			runCyc++
+			w.step()
+		} else {
+			cyc++
+			e.cycle = cyc // scheduler actions see the true cycle
+			w.tick()      // never touches runCycles from a non-run state
+		}
+	}
+	return nil
+}
+
+// runMulti drives a multi-PE machine. Cycles where more than one
+// worker can act run through the reference round-robin (their
+// reference interleaving is the trace, so there is nothing to elide);
+// but whenever exactly one worker is runnable and every other worker
+// is provably inert — waiting or idle, no kill flags, every goal stack
+// empty — the dispatcher enters a quantum: a straight-line inner loop
+// over the runner's instruction stream, with the inert workers'
+// per-cycle bookkeeping (wait/idle cycle counts, steal-probe counts
+// and timers) reconstructed in closed form afterwards. The quantum
+// breaks the moment the runner does anything another worker could
+// observe — pushes a goal, sends a message, changes state, halts — and
+// the cycle in progress is completed exactly as the reference
+// scheduler would have.
+func (e *Engine) runMulti() error {
+	maxC := e.cfg.MaxCycles
+	for !e.halted {
+		if e.cycle >= maxC {
+			return e.errRunaway()
+		}
+		e.cycle++
+		for _, w := range e.workers {
+			if e.halted {
+				break
+			}
+			// The common ticks are dispatched inline — a running worker
+			// with no kill pending goes straight to step, and inert
+			// waiters/idlers advance only their counters; everything
+			// else takes the full tick switch.
+			switch {
+			case w.state == StateRun && !w.killFlag:
+				w.runCycles++
+				w.step()
+			case w.state == StateWait && !w.killFlag && w.inertWait && w.waitSeq == e.schedSeq:
+				w.waitCycles++
+			default:
+				w.tick()
+			}
+		}
+		if e.halted {
+			break
+		}
+		if e.nRun == 1 {
+			if r := e.soleRunner(); r != nil {
+				if err := e.runQuantum(r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// soleRunner reports whether the machine is in a single-runner inert
+// state: exactly one worker in StateRun, everyone else StateWait or
+// StateIdle with no kill flag pending, and every goal stack empty (so
+// idle steal probes and wait-state goal checks are no-ops). Only then
+// can the runner execute a quantum without another worker's tick
+// observing anything.
+func (e *Engine) soleRunner() *worker {
+	var runner *worker
+	for _, w := range e.workers {
+		switch w.state {
+		case StateRun:
+			if runner != nil {
+				return nil
+			}
+			runner = w
+		case StateWait:
+			// Inert only while the awaited frame is still running with
+			// goals outstanding; otherwise the next poll acts (wakes or
+			// fails the parcall).
+			if int(e.mem.Peek(w.pf+pfStatus).Int()) != pfRunning ||
+				e.mem.Peek(w.pf+pfPending).Int() <= 0 {
+				return nil
+			}
+		case StateIdle:
+			// inert while every goal stack is empty (checked below)
+		default: // StateHalt only co-occurs with e.halted
+			return nil
+		}
+		if w.killFlag {
+			return nil
+		}
+	}
+	if runner == nil {
+		return nil
+	}
+	for _, w := range e.workers {
+		if int(e.mem.Peek(w.goalR.Base+gsTop).Int()) > gsBase {
+			return nil
+		}
+	}
+	return runner
+}
+
+// runQuantum executes the straight-line inner loop for a sole runner r
+// and then settles the books so the run is indistinguishable from the
+// reference scheduler's. On entry cycle N has fully completed; the
+// loop executes r's slice of cycles N+1..M, where cycle M is the first
+// with an observable event (or never, if the engine halts first).
+// Within cycle M the reference order is: workers before r tick (still
+// no-ops — the event hasn't happened yet), r ticks (the event), workers
+// after r tick and may observe it — so those workers get a real tick
+// here, while every elided no-op tick is accounted in closed form.
+func (e *Engine) runQuantum(r *worker) (err error) {
+	seq0 := e.schedSeq
+	start := e.cycle // cycle N: already completed by the caller
+	maxC := e.cfg.MaxCycles
+	// The loop counters live in locals (registers) and are written back
+	// on every exit — including a machine-error panic, so the error
+	// context and the stats stay exact.
+	cyc, runCyc := e.cycle, r.runCycles
+	defer func() {
+		e.cycle = cyc
+		r.runCycles = runCyc
+	}()
+	for {
+		if cyc >= maxC {
+			// Settle the cycles run so far before aborting, so stats
+			// are exact even on the error path.
+			e.settleQuantum(r, start, cyc, false)
+			return e.errRunaway()
+		}
+		cyc++
+		runCyc++
+		r.step()
+		if e.halted {
+			// halt() stops every worker mid-cycle; the reference
+			// scheduler skips the remaining ticks of the cycle too.
+			e.settleQuantum(r, start, cyc, false)
+			return nil
+		}
+		if e.schedSeq != seq0 || r.state != StateRun {
+			e.cycle = cyc // settle's tail ticks run at the true cycle
+			e.settleQuantum(r, start, cyc, true)
+			return nil
+		}
+	}
+}
+
+// settleQuantum reconstructs the elided no-op ticks of the inert
+// workers for a quantum that ran cycles start+1..end. Workers before
+// the runner are accounted through cycle end; workers after it are
+// accounted through cycle end-1 and, when tickTail is set (an
+// observable event ended the quantum), ticked for real for cycle end
+// so they observe the event exactly as the reference scheduler
+// interleaves it.
+func (e *Engine) settleQuantum(r *worker, start, end int64, tickTail bool) {
+	if end == start {
+		return
+	}
+	for _, w := range e.workers {
+		if w == r {
+			continue
+		}
+		if w.pe < r.pe {
+			w.accountInert(end - start)
+		} else {
+			w.accountInert(end - start - 1)
+			if tickTail && !e.halted {
+				w.tick()
+			}
+		}
+	}
+}
+
 func (e *Engine) stats() Stats {
 	s := Stats{
 		Cycles:        e.cycle,
@@ -228,10 +509,11 @@ func (e *Engine) stats() Stats {
 		Kills:         e.kills,
 		CheckFails:    e.checkFails,
 	}
+	c := e.mem.Counter() // complete: Run flushes before building stats
 	for _, w := range e.workers {
 		s.Inferences += w.inferences
 		s.Instructions = append(s.Instructions, w.instrs)
-		s.WorkRefs = append(s.WorkRefs, w.workRefs)
+		s.WorkRefs = append(s.WorkRefs, c.ByPE[w.pe])
 		s.RunCycles = append(s.RunCycles, w.runCycles)
 		s.WaitCycles = append(s.WaitCycles, w.waitCycles)
 		s.IdleCycles = append(s.IdleCycles, w.idleCycles)
@@ -251,14 +533,16 @@ func (e *Engine) stats() Stats {
 	return s
 }
 
-// halt stops every worker.
+// halt stops the machine: e.halted is the single stop signal every
+// dispatch loop checks before ticking a worker, so no worker advances
+// after it is set. Worker states are deliberately left as they were —
+// the quantum dispatcher's settlement accounts each inert worker's
+// elided cycles by its state, and flipping everyone to StateHalt here
+// would erase what they were doing when the machine stopped.
 func (e *Engine) halt(success bool, answerE int) {
 	e.halted = true
 	e.success = success
 	e.answerE = answerE
-	for _, w := range e.workers {
-		w.state = StateHalt
-	}
 }
 
 // extractAnswers renders the query variables' bindings (untraced; this

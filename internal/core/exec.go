@@ -8,9 +8,27 @@ import (
 	"repro/internal/trace"
 )
 
-// execute runs one instruction. On entry pc addresses ins; instructions
-// advance pc themselves (most by one).
-func (w *worker) execute(ins isa.Instr) {
+// step fetches and executes one instruction — one function, one call
+// per instruction: fetch, count and dispatch share a frame with the
+// opcode switch, and the instruction is read through a pointer so the
+// dispatcher moves one word, not the whole 24-byte Instr (cases load
+// only the fields they use). Instructions advance pc themselves (most
+// by one). Machine errors panic as machineError and are annotated
+// with cycle/pc context by Engine.Run's single recover — not by a
+// per-instruction defer, which would tax every instruction.
+func (w *worker) step() {
+	if w.pc < 0 {
+		if w.eng.debug {
+			fmt.Printf("c%d pe%d sentinel %d state=%v pf=%d gm=%d b=%d\n", w.eng.cycle, w.pe, w.pc, w.state, w.pf, w.gm, w.b)
+		}
+		w.controlSentinel(w.pc)
+		return
+	}
+	ins := &w.code[w.pc]
+	if w.eng.debug {
+		fmt.Printf("c%d pe%d pc%d %v | e=%d b=%d pf=%d gm=%d lt=%d ct=%d\n", w.eng.cycle, w.pe, w.pc, *ins, w.e, w.b, w.pf, w.gm, w.localTop, w.ctlTop)
+	}
+	w.instrs++
 	switch ins.Op {
 
 	// --- control ---
@@ -512,7 +530,7 @@ func (w *worker) execute(ins isa.Instr) {
 		w.pcallLocal(ins.N, int(ins.R2))
 
 	default:
-		panic(machineError{fmt.Sprintf("pe%d: unimplemented opcode %v", w.pe, ins.Op)})
+		w.machinePanic(fmt.Sprintf("pe%d: unimplemented opcode %v", w.pe, ins.Op))
 	}
 }
 
@@ -520,7 +538,7 @@ func (w *worker) execute(ins isa.Instr) {
 // environment.
 func (w *worker) yaddr(n int) int {
 	if w.e == none {
-		panic(machineError{fmt.Sprintf("pe%d: Y%d access with no environment", w.pe, n)})
+		w.machinePanic(fmt.Sprintf("pe%d: Y%d access with no environment", w.pe, n))
 	}
 	return w.e + envHdr + n
 }
@@ -559,7 +577,7 @@ func (w *worker) pushLocalValue(d mem.Word) mem.Word {
 	w.checkHeap()
 	if d.Tag() == mem.TagRef {
 		addr := d.Addr()
-		if _, area := w.eng.mem.Classify(addr); area == trace.AreaLocal || area == trace.AreaGoal {
+		if _, area := w.mem.Classify(addr); area == trace.AreaLocal || area == trace.AreaGoal {
 			// Globalize onto this worker's heap.
 			w.write(w.h, mem.MakeRef(w.h), trace.ObjHeap)
 			w.bind(addr, mem.MakeRef(w.h))

@@ -40,6 +40,7 @@ func (w *worker) allocPFrame(ngoals int, cont int32) {
 		w.localHigh = w.localTop
 	}
 	w.pf = at
+	w.noteSchedEvent() // new frame: pending/status now live
 	w.eng.parcalls++
 	w.eng.goalsParallel += int64(ngoals)
 }
@@ -124,7 +125,7 @@ func (w *worker) startGoal(pfAddr, slot int, entry int32, args []mem.Word) {
 	w.hbFloor = w.h
 	w.cp = cpParReturn
 	w.pc = entry
-	w.state = StateRun
+	w.setState(StateRun)
 }
 
 // completeGoal finishes the current parallel goal (success or failure),
@@ -150,6 +151,7 @@ func (w *worker) completeGoal(success bool) {
 	pending := w.read(pfAddr+pfPending, trace.ObjParcallCount).Int()
 	w.write(pfAddr+pfPending, mem.MakeInt(pending-1), trace.ObjParcallCount)
 	w.lockRelease(pfAddr+pfLock, trace.ObjParcallCount)
+	w.noteSchedEvent() // the frame's owner observes pending/status
 
 	// Restore the worker's pre-goal context. The heap section is
 	// preserved (it holds the goal's results); the local and control
@@ -180,7 +182,7 @@ func (w *worker) goalFloorHB() int {
 	if w.gm == none {
 		return none
 	}
-	return decAddr(w.eng.mem.Peek(w.gm + mkSavedH)) // host-side cache of own marker
+	return decAddr(w.mem.Peek(w.gm + mkSavedH)) // host-side cache of own marker
 }
 
 // popLiveGoal pops goals, silently discarding any whose parcall frame is
@@ -192,13 +194,14 @@ func (w *worker) popLiveGoal(victim *worker) (pfAddr, slot int, entry int32, arg
 		if !ok {
 			return
 		}
-		if int(w.eng.mem.Peek(pfAddr+pfStatus).Int()) == pfRunning {
+		if int(w.mem.Peek(pfAddr+pfStatus).Int()) == pfRunning {
 			return
 		}
 		w.lockAcquire(pfAddr+pfLock, trace.ObjParcallCount)
 		pending := w.read(pfAddr+pfPending, trace.ObjParcallCount).Int()
 		w.write(pfAddr+pfPending, mem.MakeInt(pending-1), trace.ObjParcallCount)
 		w.lockRelease(pfAddr+pfLock, trace.ObjParcallCount)
+		w.noteSchedEvent() // the failing owner observes the drained count
 	}
 }
 
@@ -209,18 +212,18 @@ func (w *worker) schedule() {
 		// completes (pollFrame also drains the goal stack while the
 		// frame is pending). Continuation priority bounds the number
 		// of live frames.
-		w.state = StateWait
+		w.setState(StateWait)
 		w.pollFrame()
 		return
 	}
 	// No frame of our own: drain leftover work, then go idle.
-	if int(w.eng.mem.Peek(w.goalR.Base+gsTop).Int()) > gsBase {
+	if int(w.mem.Peek(w.goalR.Base+gsTop).Int()) > gsBase {
 		if pfAddr, slot, entry, args, ok := w.popLiveGoal(w); ok {
 			w.startGoal(pfAddr, slot, entry, args)
 			return
 		}
 	}
-	w.state = StateIdle
+	w.setState(StateIdle)
 	w.idleClock = 0
 }
 
@@ -228,16 +231,17 @@ func (w *worker) schedule() {
 // first inspection was already traced when the frame was created or the
 // goal picked up).
 func (w *worker) frameOwner(pfAddr int) int {
-	return int(w.eng.mem.Peek(pfAddr + pfOwner).Int())
+	return int(w.mem.Peek(pfAddr + pfOwner).Int())
 }
 
 // pollFrame is executed on wait cycles: the parent of an outstanding
 // parcall watches for completion or failure. Spinning reads hit the
 // local cache and are not traced; the state-transition reads are.
 func (w *worker) pollFrame() {
+	w.inertWait = false
 	pfAddr := w.pf
-	status := int(w.eng.mem.Peek(pfAddr + pfStatus).Int())
-	pending := w.eng.mem.Peek(pfAddr + pfPending).Int()
+	status := int(w.mem.Peek(pfAddr + pfStatus).Int())
+	pending := w.mem.Peek(pfAddr + pfPending).Int()
 	if status == pfFailed {
 		w.parcallFail(pfAddr)
 		return
@@ -247,10 +251,15 @@ func (w *worker) pollFrame() {
 		// on our own goal stack — run them. The emptiness check is a
 		// spin on the worker's own cached top word (untraced, like
 		// other busy-waiting); only a real pop pays reference costs.
-		if int(w.eng.mem.Peek(w.goalR.Base+gsTop).Int()) > gsBase {
+		if int(w.mem.Peek(w.goalR.Base+gsTop).Int()) > gsBase {
 			if pfA, slot, entry, args, ok := w.popLiveGoal(w); ok {
 				w.startGoal(pfA, slot, entry, args)
 			}
+		} else {
+			// Nothing to run and nothing changed: until the next
+			// scheduler event this poll's outcome is fixed.
+			w.inertWait = true
+			w.waitSeq = w.eng.schedSeq
 		}
 		return
 	}
@@ -269,18 +278,19 @@ func (w *worker) pollFrame() {
 	}
 	w.pf = prev
 	w.pc = cont
-	w.state = StateRun
+	w.setState(StateRun)
 }
 
 // cpSavedLocal reads a choice point's saved local top (host-side).
 func (w *worker) cpSavedLocal(b int) int {
-	return decAddr(w.eng.mem.Peek(b + cpSavedLo))
+	return decAddr(w.mem.Peek(b + cpSavedLo))
 }
 
 // parcallFail handles a failed parcall from the owner's side: kill the
 // goals still executing, wait for quiescence, recover storage, fail.
 func (w *worker) parcallFail(pfAddr int) {
-	ngoals := int(w.eng.mem.Peek(pfAddr + pfNGoals).Int())
+	w.noteSchedEvent() // frame teardown: status/pending/goal stacks move
+	ngoals := int(w.mem.Peek(pfAddr + pfNGoals).Int())
 	// Discard this frame's un-started goals sitting on our stack
 	// (the frame is marked failed, so popLiveGoal drops them and
 	// decrements the pending count; live goals of an outer frame stay
@@ -299,8 +309,8 @@ func (w *worker) parcallFail(pfAddr int) {
 	quiesced := true
 	for g := 1; g <= ngoals; g++ {
 		s := pfAddr + pfHdr + (g-1)*pfSlotLen
-		st := int(w.eng.mem.Peek(s).Int())
-		pe := int(w.eng.mem.Peek(s + 1).Int())
+		st := int(w.mem.Peek(s).Int())
+		pe := int(w.mem.Peek(s + 1).Int())
 		if st == slotExec && pe != w.pe {
 			quiesced = false
 			if !w.eng.workers[pe].killFlag {
@@ -308,9 +318,9 @@ func (w *worker) parcallFail(pfAddr int) {
 			}
 		}
 	}
-	pending := w.eng.mem.Peek(pfAddr + pfPending).Int()
+	pending := w.mem.Peek(pfAddr + pfPending).Int()
 	if !quiesced || pending > 0 {
-		w.state = StateWait
+		w.setState(StateWait)
 		return // poll again next cycle
 	}
 	// All quiet. First undo the bindings made by goals that COMPLETED
@@ -323,8 +333,8 @@ func (w *worker) parcallFail(pfAddr int) {
 	// measured benchmarks are determinate.)
 	for g := 1; g <= ngoals; g++ {
 		s := pfAddr + pfHdr + (g-1)*pfSlotLen
-		st := int(w.eng.mem.Peek(s + slotOffState).Int())
-		pe := int(w.eng.mem.Peek(s + slotOffPE).Int())
+		st := int(w.mem.Peek(s + slotOffState).Int())
+		pe := int(w.mem.Peek(s + slotOffPE).Int())
 		if st != slotDone || pe == w.pe || pe < 0 {
 			continue
 		}
@@ -352,7 +362,7 @@ func (w *worker) parcallFail(pfAddr int) {
 	} else {
 		w.hb = w.hbFloor
 	}
-	w.state = StateRun
+	w.setState(StateRun)
 	w.fail()
 }
 
@@ -375,11 +385,19 @@ func (w *worker) trySteal() {
 	if n == 1 {
 		return
 	}
+	allEmpty := true
 	for attempts := 0; attempts < n-1; attempts++ {
 		victim := w.eng.workers[w.stealNext]
-		w.stealNext = (w.stealNext + 1) % n
+		// Advance round-robin, skipping self; stealNext stays in
+		// [0, n), so the wrap is a compare instead of a divide (this
+		// runs every StealInterval cycles on every idle worker).
+		if w.stealNext++; w.stealNext == n {
+			w.stealNext = 0
+		}
 		if w.stealNext == w.pe {
-			w.stealNext = (w.stealNext + 1) % n
+			if w.stealNext++; w.stealNext == n {
+				w.stealNext = 0
+			}
 		}
 		if victim.pe == w.pe {
 			continue
@@ -389,14 +407,21 @@ func (w *worker) trySteal() {
 		// top-of-stack word; like other busy-waiting this is untraced
 		// (the paper separates work references from idle time). Only a
 		// successful steal pays the locked-pop reference cost.
-		top := int(w.eng.mem.Peek(victim.goalR.Base + gsTop).Int())
+		top := int(w.mem.Peek(victim.goalR.Base + gsTop).Int())
 		if top <= gsBase {
 			continue
 		}
+		allEmpty = false
 		if pfAddr, slot, entry, args, ok := w.popLiveGoal(victim); ok {
 			w.startGoal(pfAddr, slot, entry, args)
 			return
 		}
+	}
+	if allEmpty {
+		// Until a push happens, every future sweep is the same no-op:
+		// tick advances only the probe counters while this holds.
+		w.idleInert = true
+		w.idleSeq = w.eng.schedSeq
 	}
 }
 
@@ -405,6 +430,7 @@ func (w *worker) trySteal() {
 // stacks recovered) and nested parcall frames it owns are killed
 // transitively.
 func (w *worker) handleKill() {
+	w.noteSchedEvent() // unwinding wipes this worker's stack and counters
 	w.killFlag = false
 	// Consume the kill message (traced reads of the message buffer).
 	base := w.msgR.Base
@@ -425,11 +451,11 @@ func (w *worker) handleKill() {
 		// chain from the current PF leads through nested frames down
 		// to the goal's own frame (marker.pf), which is not ours to
 		// kill — its owner coordinates via parcallFail.
-		savedPF := decAddr(w.eng.mem.Peek(m + mkSavedPF))
-		goalPF := decAddr(w.eng.mem.Peek(m + mkPF))
+		savedPF := decAddr(w.mem.Peek(m + mkSavedPF))
+		goalPF := decAddr(w.mem.Peek(m + mkPF))
 		for f := w.pf; f != none && f != savedPF && f != goalPF; {
 			w.killFrameChildren(f)
-			f = decAddr(w.eng.mem.Peek(f + pfPrevPF))
+			f = decAddr(w.mem.Peek(f + pfPrevPF))
 		}
 		w.pf = savedPF
 		w.unwindTrail(int(w.read(m+mkSavedTR, trace.ObjMarker).Int()))
@@ -469,12 +495,13 @@ func (w *worker) handleKill() {
 // killFrameChildren marks a dying frame dead and kills its executing
 // goals on other PEs.
 func (w *worker) killFrameChildren(pfAddr int) {
+	w.noteSchedEvent() // nested frame dies: its waiters must re-poll
 	w.write(pfAddr+pfStatus, mem.MakeInt(pfDead), trace.ObjParcallGlobal)
-	ngoals := int(w.eng.mem.Peek(pfAddr + pfNGoals).Int())
+	ngoals := int(w.mem.Peek(pfAddr + pfNGoals).Int())
 	for g := 1; g <= ngoals; g++ {
 		s := pfAddr + pfHdr + (g-1)*pfSlotLen
-		st := int(w.eng.mem.Peek(s).Int())
-		pe := int(w.eng.mem.Peek(s + 1).Int())
+		st := int(w.mem.Peek(s).Int())
+		pe := int(w.mem.Peek(s + 1).Int())
 		if st == slotExec && pe != w.pe {
 			w.sendMessage(pe, msgKill, pfAddr)
 		}
@@ -490,11 +517,11 @@ func (w *worker) parGoalFail() {
 	// section die with it (their remote goals receive kill messages).
 	// The goal's own frame (marker.pf) is excluded — the failure is
 	// reported to it through completeGoal.
-	savedPF := decAddr(w.eng.mem.Peek(m + mkSavedPF))
-	goalPF := decAddr(w.eng.mem.Peek(m + mkPF))
+	savedPF := decAddr(w.mem.Peek(m + mkSavedPF))
+	goalPF := decAddr(w.mem.Peek(m + mkPF))
 	for f := w.pf; f != none && f != savedPF && f != goalPF; {
 		w.killFrameChildren(f)
-		f = decAddr(w.eng.mem.Peek(f + pfPrevPF))
+		f = decAddr(w.mem.Peek(f + pfPrevPF))
 	}
 	// Unwind this section's bindings and storage before reporting.
 	w.unwindTrail(int(w.read(m+mkSavedTR, trace.ObjMarker).Int()))

@@ -5,6 +5,21 @@ import (
 	"repro/internal/trace"
 )
 
+// bindObjByArea maps the bound cell's storage area to its write
+// classification: heap cells, environment variables or goal-frame
+// words; anything else (unreachable in practice for a bind target)
+// keeps the historical heap fallback.
+var bindObjByArea = [trace.NumAreas]trace.ObjType{
+	trace.AreaNone:    trace.ObjHeap,
+	trace.AreaHeap:    trace.ObjHeap,
+	trace.AreaLocal:   trace.ObjEnvPVar,
+	trace.AreaControl: trace.ObjHeap,
+	trace.AreaTrail:   trace.ObjHeap,
+	trace.AreaPDL:     trace.ObjHeap,
+	trace.AreaGoal:    trace.ObjGoalFrame,
+	trace.AreaMsg:     trace.ObjHeap,
+}
+
 // deref follows the reference chain of w, generating one traced read per
 // hop, and returns either an unbound ref (self-reference) or a value.
 func (w *worker) deref(v mem.Word) mem.Word {
@@ -26,17 +41,18 @@ func (w *worker) deref(v mem.Word) mem.Word {
 //   - any cell belonging to another worker (its unwinding is
 //     coordinated through markers and messages).
 func (w *worker) bind(addr int, value mem.Word) {
-	ownerPE, area := w.eng.mem.Classify(addr)
-	obj := trace.ObjHeap
-	switch area {
-	case trace.AreaHeap:
-		obj = trace.ObjHeap
-	case trace.AreaLocal:
-		obj = trace.ObjEnvPVar
-	case trace.AreaGoal:
-		obj = trace.ObjGoalFrame
+	// Fast path: binding a cell on the worker's own heap (the usual
+	// case by far) — two compares replace the classification lookup.
+	if addr >= w.heap.Base && addr < w.heap.Limit {
+		w.write(addr, value, trace.ObjHeap)
+		if w.hb != none && addr < w.hb {
+			w.pushTrail(addr)
+		}
+		return
 	}
-	w.write(addr, value, obj)
+
+	ownerPE, area := w.mem.Classify(addr)
+	w.write(addr, value, bindObjByArea[area])
 
 	trail := false
 	if ownerPE != w.pe {
@@ -63,8 +79,8 @@ func (w *worker) bind(addr int, value mem.Word) {
 //     goal), falling back to address order.
 func (w *worker) bindOrder(a, b mem.Word) {
 	aAddr, bAddr := a.Addr(), b.Addr()
-	aPE, aArea := w.eng.mem.Classify(aAddr)
-	bPE, bArea := w.eng.mem.Classify(bAddr)
+	aPE, aArea := w.mem.Classify(aAddr)
+	bPE, bArea := w.mem.Classify(bAddr)
 
 	switch {
 	case aPE != bPE:
@@ -98,7 +114,7 @@ func (w *worker) unify(a, b mem.Word) bool {
 	pdl := 0
 	push := func(x, y mem.Word) {
 		if w.pdlAddr(pdl+2) > w.pdlR.Limit {
-			panic(machineError{"pdl overflow"})
+			w.machinePanic("pdl overflow")
 		}
 		w.write(w.pdlAddr(pdl), x, trace.ObjPDL)
 		w.write(w.pdlAddr(pdl+1), y, trace.ObjPDL)

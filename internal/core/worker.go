@@ -12,7 +12,11 @@ import (
 // regions of the shared address space (its Stack Set).
 type worker struct {
 	eng *Engine
-	pe  int
+	// mem and code shadow eng.mem and eng.code.Instrs: one load
+	// instead of two on the per-reference and per-instruction paths.
+	mem  *mem.Memory
+	code []isa.Instr
+	pe   int
 
 	// Regions.
 	heap, local, ctl, trailR, pdlR, goalR, msgR mem.Region
@@ -44,13 +48,25 @@ type worker struct {
 	killFlag   bool
 	instrs     int64
 	inferences int64
-	workRefs   int64
 	runCycles  int64
 	waitCycles int64
 	idleCycles int64
 	idleClock  int  // cycles since last steal probe
 	stealNext  int  // next victim PE to probe
 	failedGoal bool // last goal completion was a failure
+
+	// Inert-poll elision state (see Engine.schedSeq). inertWait is set
+	// by a full pollFrame that proved this waiter has nothing to do
+	// (frame running, goals pending, own stack empty); while the
+	// scheduler sequence equals waitSeq, subsequent polls are provably
+	// identical and are skipped. idleInert/idleSeq are the analogue for
+	// an idle worker whose last steal sweep found every goal stack
+	// empty: while the sequence holds, further sweeps cannot hit and
+	// only the probe counters advance.
+	inertWait bool
+	waitSeq   uint64
+	idleInert bool
+	idleSeq   uint64
 }
 
 const (
@@ -61,6 +77,8 @@ const (
 func newWorker(e *Engine, pe int) *worker {
 	w := &worker{
 		eng:    e,
+		mem:    e.mem,
+		code:   e.code.Instrs,
 		pe:     pe,
 		heap:   e.mem.Region(pe, trace.AreaHeap),
 		local:  e.mem.Region(pe, trace.AreaLocal),
@@ -90,59 +108,82 @@ func newWorker(e *Engine, pe int) *worker {
 
 // --- instrumented memory access ---
 
+// read and write are thin forwarders; the per-worker reference counts
+// (Stats.WorkRefs) come from the memory counter's ByPE table, which
+// tallies exactly the same references, so nothing is counted here.
+
 func (w *worker) read(addr int, obj trace.ObjType) mem.Word {
-	w.workRefs++
-	return w.eng.mem.Read(w.pe, addr, obj)
+	return w.mem.Read(w.pe, addr, obj)
 }
 
 func (w *worker) write(addr int, v mem.Word, obj trace.ObjType) {
-	w.workRefs++
-	w.eng.mem.Write(w.pe, addr, v, obj)
+	w.mem.Write(w.pe, addr, v, obj)
+}
+
+// dataObjByArea maps a storage area to the object classification of a
+// value reference into it (dereferencing, unification, trail unwinds):
+// heap cells, environment variables (own or remote), goal-frame words,
+// and so on. Trail/PDL/unclassified fall back to heap, matching the
+// historical switch — a table load instead of a branch ladder, since
+// dataObj sits on the deref hot path.
+var dataObjByArea = [trace.NumAreas]trace.ObjType{
+	trace.AreaNone:    trace.ObjHeap,
+	trace.AreaHeap:    trace.ObjHeap,
+	trace.AreaLocal:   trace.ObjEnvPVar,
+	trace.AreaControl: trace.ObjChoicePoint,
+	trace.AreaTrail:   trace.ObjHeap,
+	trace.AreaPDL:     trace.ObjHeap,
+	trace.AreaGoal:    trace.ObjGoalFrame,
+	trace.AreaMsg:     trace.ObjMessage,
 }
 
 // dataObj classifies an address for value reads performed during
-// dereferencing and unification: heap cells, environment variables (own
-// or remote) or goal-frame words.
+// dereferencing and unification. The overwhelmingly common case — a
+// reference into the worker's own heap — is two compares; everything
+// else is a Classify table lookup plus the area map above.
 func (w *worker) dataObj(addr int) trace.ObjType {
-	_, area := w.eng.mem.Classify(addr)
-	switch area {
-	case trace.AreaHeap:
+	if addr >= w.heap.Base && addr < w.heap.Limit {
 		return trace.ObjHeap
-	case trace.AreaLocal:
-		return trace.ObjEnvPVar
-	case trace.AreaGoal:
-		return trace.ObjGoalFrame
-	case trace.AreaControl:
-		return trace.ObjChoicePoint
-	case trace.AreaMsg:
-		return trace.ObjMessage
 	}
-	return trace.ObjHeap
+	_, area := w.mem.Classify(addr)
+	return dataObjByArea[area]
 }
 
 // --- overflow checks (simulation-level resource errors) ---
 
 func (w *worker) checkHeap() {
 	if w.h >= w.heap.Limit {
-		panic(machineError{fmt.Sprintf("pe%d: heap overflow", w.pe)})
+		w.machinePanic(fmt.Sprintf("pe%d: heap overflow", w.pe))
 	}
 }
 
 func (w *worker) checkLocal(n int) {
 	if w.localTop+n > w.local.Limit {
-		panic(machineError{fmt.Sprintf("pe%d: local stack overflow", w.pe)})
+		w.machinePanic(fmt.Sprintf("pe%d: local stack overflow", w.pe))
 	}
 }
 
 func (w *worker) checkCtl(n int) {
 	if w.ctlTop+n > w.ctl.Limit {
-		panic(machineError{fmt.Sprintf("pe%d: control stack overflow", w.pe)})
+		w.machinePanic(fmt.Sprintf("pe%d: control stack overflow", w.pe))
 	}
 }
 
-type machineError struct{ msg string }
+// machineError carries the faulting worker's code pointer so the
+// once-per-Run recover can report context without the dispatcher
+// tracking a "current worker" on every tick.
+type machineError struct {
+	msg string
+	pc  int32
+}
 
 func (e machineError) Error() string { return e.msg }
+
+// machinePanic aborts the run with a machine error at this worker's
+// current instruction.
+func (w *worker) machinePanic(msg string) {
+	panic(machineError{msg: msg, pc: w.pc})
+}
 
 // --- trail ---
 
@@ -151,7 +192,7 @@ func (w *worker) trailAddr(i int) int { return w.trailR.Base + i }
 // pushTrail records a binding address for backtracking.
 func (w *worker) pushTrail(addr int) {
 	if w.trailAddr(w.tr) >= w.trailR.Limit {
-		panic(machineError{fmt.Sprintf("pe%d: trail overflow", w.pe)})
+		w.machinePanic(fmt.Sprintf("pe%d: trail overflow", w.pe))
 	}
 	w.write(w.trailAddr(w.tr), mem.MakeRef(addr), trace.ObjTrail)
 	w.tr++
@@ -190,6 +231,9 @@ func (w *worker) tick() {
 			return
 		}
 		w.waitCycles++
+		if w.inertWait && w.waitSeq == w.eng.schedSeq && w.eng.elide {
+			return // provably identical to the poll that proved inertness
+		}
 		w.pollFrame()
 	case StateIdle:
 		w.killFlag = false // nothing to kill
@@ -197,35 +241,62 @@ func (w *worker) tick() {
 		w.idleClock++
 		if w.idleClock >= w.eng.cfg.StealInterval {
 			w.idleClock = 0
+			if w.idleInert && w.idleSeq == w.eng.schedSeq && w.eng.elide {
+				// Every goal stack was empty at the last sweep and no
+				// push/pop has happened since: the sweep would find
+				// nothing again, so only the probe count advances
+				// (stealNext wraps around over a full empty sweep).
+				w.eng.stealProbes += int64(w.eng.cfg.PEs - 1)
+				return
+			}
 			w.trySteal()
 		}
 	}
 }
 
-// step executes one instruction, converting machine errors into engine
-// aborts with context.
-func (w *worker) step() {
-	defer func() {
-		if r := recover(); r != nil {
-			if me, ok := r.(machineError); ok {
-				panic(fmt.Errorf("cycle %d pc %d: %s", w.eng.cycle, w.pc, me.msg))
-			}
-			panic(r)
-		}
-	}()
-	if w.pc < 0 {
-		if w.eng.debug {
-			fmt.Printf("c%d pe%d sentinel %d state=%v pf=%d gm=%d b=%d\n", w.eng.cycle, w.pe, w.pc, w.state, w.pf, w.gm, w.b)
-		}
-		w.controlSentinel(w.pc)
+// noteSchedEvent records an action observable by other workers'
+// scheduler steps (goal stack push/pop, parcall pending/status write,
+// message send). Every such site must call this — the quantum
+// dispatcher and the inert-poll elision both rely on the sequence to
+// know when a skipped poll could have changed outcome.
+func (w *worker) noteSchedEvent() { w.eng.schedSeq++ }
+
+// setState transitions the worker's scheduler state, maintaining the
+// engine's count of running workers (the quantum dispatcher's cheap
+// eligibility pre-check). Every state change goes through here.
+func (w *worker) setState(s WorkerState) {
+	if w.state == StateRun {
+		w.eng.nRun--
+	}
+	if s == StateRun {
+		w.eng.nRun++
+	}
+	w.state = s
+}
+
+// accountInert credits this worker with k elided no-op cycles of a
+// sole-runner quantum (see Engine.runQuantum). The closed forms
+// reproduce exactly what k consecutive ticks would have recorded given
+// that nothing observable happened: a waiter accrues wait cycles; an
+// idle worker accrues idle cycles plus the steal probes its clock
+// would have fired — each empty probe round visits all PEs-1 victims
+// and leaves stealNext where it started, so only the counters move.
+func (w *worker) accountInert(k int64) {
+	if k <= 0 {
 		return
 	}
-	ins := w.eng.code.Instrs[w.pc]
-	if w.eng.debug {
-		fmt.Printf("c%d pe%d pc%d %v | e=%d b=%d pf=%d gm=%d lt=%d ct=%d\n", w.eng.cycle, w.pe, w.pc, ins, w.e, w.b, w.pf, w.gm, w.localTop, w.ctlTop)
+	switch w.state {
+	case StateWait:
+		w.waitCycles += k
+	case StateIdle:
+		w.idleCycles += k
+		si := int64(w.eng.cfg.StealInterval)
+		fires := (int64(w.idleClock) + k) / si
+		w.idleClock = int((int64(w.idleClock) + k) % si)
+		if fires > 0 {
+			w.eng.stealProbes += fires * int64(w.eng.cfg.PEs-1)
+		}
 	}
-	w.instrs++
-	w.execute(ins)
 }
 
 // controlSentinel handles CP sentinels reached via proceed/execute.
@@ -239,7 +310,7 @@ func (w *worker) controlSentinel(pc int32) {
 	case cpParReturn:
 		w.completeGoal(true)
 	default:
-		panic(machineError{fmt.Sprintf("pe%d: bad code address %d", w.pe, pc)})
+		w.machinePanic(fmt.Sprintf("pe%d: bad code address %d", w.pe, pc))
 	}
 }
 
@@ -264,7 +335,7 @@ func (w *worker) pushGoal(pfAddr int, slot int, entry int32, arity int) {
 	top := int(w.read(base+gsTop, trace.ObjGoalFrame).Int())
 	frameLen := gfHdr + arity + 1 // +1 for the back-pointer word
 	if base+top+frameLen > w.goalR.Limit {
-		panic(machineError{fmt.Sprintf("pe%d: goal stack overflow", w.pe)})
+		w.machinePanic(fmt.Sprintf("pe%d: goal stack overflow", w.pe))
 	}
 	at := base + top
 	w.write(at+gfPF, mem.MakeRef(pfAddr), trace.ObjGoalFrame)
@@ -279,6 +350,7 @@ func (w *worker) pushGoal(pfAddr int, slot int, entry int32, arity int) {
 	w.write(at+gfHdr+arity, mem.MakeInt(int64(top)), trace.ObjGoalFrame)
 	w.write(base+gsTop, mem.MakeInt(int64(top+frameLen)), trace.ObjGoalFrame)
 	w.lockRelease(base+gsLock, trace.ObjGoalFrame)
+	w.noteSchedEvent() // idle workers' steal probes can now hit
 }
 
 // popGoal pops the youngest goal frame from the stack of victim (which
@@ -307,6 +379,7 @@ func (w *worker) popGoal(victim *worker) (pfAddr, slot int, entry int32, args []
 	}
 	w.write(base+gsTop, mem.MakeInt(int64(at-base)), trace.ObjGoalFrame)
 	w.lockRelease(base+gsLock, trace.ObjGoalFrame)
+	w.noteSchedEvent() // the victim's stack shrank
 	return pfAddr, slot, entry, args, true
 }
 
@@ -330,4 +403,5 @@ func (w *worker) sendMessage(target int, mtype int, arg int) {
 		tw.killFlag = true
 		w.eng.kills++
 	}
+	w.noteSchedEvent() // the target observes the message/kill flag
 }

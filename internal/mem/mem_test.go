@@ -121,6 +121,7 @@ func TestReadWriteEmitRefs(t *testing.T) {
 	if got.Int() != 5 {
 		t.Errorf("read back %v", got)
 	}
+	m.Flush() // references are staged until flushed
 	if buf.Len() != 2 {
 		t.Fatalf("emitted %d refs, want 2", buf.Len())
 	}

@@ -2,6 +2,8 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/trace"
 )
@@ -78,38 +80,141 @@ func (r Region) Contains(addr int) bool { return addr >= r.Base && addr < r.Limi
 // Size returns the region size in words.
 func (r Region) Size() int { return r.Limit - r.Base }
 
+// stageRefs is the staging-buffer capacity in references — a multiple
+// of the compact codec's chunk size, so a flush into a ChunkWriter
+// encodes whole chunks straight from the staging slice with no
+// intermediate copy. The size (512 KiB of references) is tuned so the
+// flush pipeline (fold + encode) amortizes its cache warm-up across
+// several chunks without evicting the emulator's working set; both
+// smaller (8K) and larger (128K) measurably lose on the qsort@4PE
+// cold-generation benchmark.
+const stageRefs = 65536
+
+// alignShift is log2(Align); every Align-word block lies entirely
+// inside one (worker, area) region, which is what makes the
+// block-granular classification table exact.
+const alignShift = 6
+
+// dirtyShift is log2 of the dirty-tracking block size in words (4096
+// words = one 32 KiB zeroing unit). Coarser than classification blocks
+// on purpose: the bitmap stays tiny and Release zeroes long runs.
+const dirtyShift = 12
+
 // Memory is the instrumented flat shared address space. All engine
 // accesses go through Read/Write (traced) or Peek/Poke (untraced
 // host-side inspection, used only for extracting final answers and
 // debugging — never on the measured path).
+//
+// # The staged reference path
+//
+// Read and Write do not call the sink per reference: they append the
+// reference to a flat staging buffer — a bounds-checked slice append,
+// no allocation, no interface dispatch — which Flush drains as one
+// batch into the sink (trace.BatchSink when implemented) while folding
+// the counter tallies into the same flat loop. The engine is a
+// single-goroutine deterministic simulation, so one staging buffer per
+// address space preserves the interleaved emission order exactly;
+// per-worker buffers would reorder the stream and break the trace
+// store's byte-identity contract. Flush runs automatically when the
+// buffer fills; anything that hands the stream downstream (end of run,
+// SetSink, Release) flushes first.
 type Memory struct {
+	// stage is the pending-reference staging buffer (a fixed-size
+	// array; nStage is the fill level). A fixed array plus index
+	// stores one reference and one integer per Read/Write — an append
+	// would also write the slice header back every call — and lets the
+	// compiler drop the store's bounds check. It is first in the
+	// struct because Read/Write touch it on every reference.
+	stage  *[stageRefs]Ref
+	nStage int
 	words  []Word
+	// tally folds the Flush loop's two counter updates into one:
+	// entry (obj<<1|op)<<6|pe counts references of that object type,
+	// operation and PE. Counter() unfolds it into the public
+	// trace.Counter shape on demand.
+	tally   []int64
+	counter *trace.Counter
+	sink    trace.Sink
+	batch   trace.BatchSink // non-nil when sink implements BatchSink
+
+	// classTab maps addr>>alignShift to pe<<3|area. It is shared,
+	// read-only, and cached per layout (engines of the same shape are
+	// constructed constantly during parallel trace generation).
+	classTab []uint16
+
+	// dirty marks dirtyShift-sized blocks that received at least one
+	// word since the slab was (re)zeroed; Release zeroes exactly these,
+	// making engine teardown O(touched memory) instead of O(address
+	// space). Write-marking is folded into Flush's batch loop; Poke
+	// marks directly.
+	dirty []uint64
+
 	layout Layout
 	// region offsets within a worker span, indexed by area
 	areaOff  [trace.NumAreas]int
 	areaSize [trace.NumAreas]int
 	span     int
-	sink     trace.Sink
-	counter  *trace.Counter
+	released bool
 }
 
-// NewMemory allocates the address space for the given layout. The counter
-// is always attached (cheap array increments); sink may be trace.Discard.
+// Ref is re-exported locally to keep the hot-path append monomorphic.
+type Ref = trace.Ref
+
+// classTabs caches the classification table per (normalized) layout.
+var classTabs sync.Map // Layout -> []uint16
+
+// slabPools recycles zeroed word slabs by total size. Release returns a
+// slab fully re-zeroed, so NewMemory can hand it out again without the
+// O(address space) clear that otherwise dominates engine construction
+// for short benchmark runs.
+var slabPools sync.Map // int -> *sync.Pool
+
+func getSlab(n int) []Word {
+	if p, ok := slabPools.Load(n); ok {
+		if s := p.(*sync.Pool).Get(); s != nil {
+			return s.([]Word)
+		}
+	}
+	return make([]Word, n)
+}
+
+func putSlab(words []Word) {
+	p, ok := slabPools.Load(len(words))
+	if !ok {
+		p, _ = slabPools.LoadOrStore(len(words), &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(words)
+}
+
+// NewMemory allocates the address space for the given layout, reusing a
+// recycled slab from a previous Release when one is available. The
+// counter is always attached (cheap array increments); sink may be
+// trace.Discard. Layouts are limited to trace.MaxPEs workers — the
+// counter, the trace tooling and the cache simulators all size their
+// per-PE state to that bound.
 func NewMemory(l Layout, sink trace.Sink) *Memory {
 	if l.Workers <= 0 {
 		panic("mem: layout needs at least one worker")
 	}
+	if l.Workers > trace.MaxPEs {
+		panic(fmt.Sprintf("mem: layout has %d workers, limit %d", l.Workers, trace.MaxPEs))
+	}
 	n := l.normalized()
+	total := n.TotalWords()
 	m := &Memory{
-		words:   make([]Word, n.TotalWords()),
+		stage:   new([stageRefs]Ref),
+		words:   getSlab(total),
+		tally:   make([]int64, trace.NumObjTypes*2*trace.MaxPEs),
 		layout:  n,
 		span:    n.SpanWords(),
 		sink:    sink,
 		counter: &trace.Counter{},
+		dirty:   make([]uint64, (total>>dirtyShift+63)/64+1),
 	}
 	if m.sink == nil {
 		m.sink = trace.Discard
 	}
+	m.batch, _ = m.sink.(trace.BatchSink)
 	off := 0
 	for _, ar := range []struct {
 		area trace.Area
@@ -127,21 +232,64 @@ func NewMemory(l Layout, sink trace.Sink) *Memory {
 		m.areaSize[ar.area] = ar.size
 		off += ar.size
 	}
+	m.classTab = classTabFor(n, m.areaOff, m.areaSize)
 	return m
+}
+
+// classTabFor returns the layout's shared block-classification table,
+// building it on first use: entry addr>>alignShift holds pe<<3|area.
+func classTabFor(l Layout, areaOff, areaSize [trace.NumAreas]int) []uint16 {
+	if tab, ok := classTabs.Load(l); ok {
+		return tab.([]uint16)
+	}
+	span := l.SpanWords()
+	tab := make([]uint16, l.TotalWords()>>alignShift)
+	for pe := 0; pe < l.Workers; pe++ {
+		base := pe * span
+		for a := trace.AreaHeap; a <= trace.AreaMsg; a++ {
+			entry := uint16(pe)<<3 | uint16(a)
+			lo := (base + areaOff[a]) >> alignShift
+			hi := (base + areaOff[a] + areaSize[a]) >> alignShift
+			for b := lo; b < hi; b++ {
+				tab[b] = entry
+			}
+		}
+	}
+	actual, _ := classTabs.LoadOrStore(l, tab)
+	return actual.([]uint16)
 }
 
 // Layout returns the (normalized) layout in use.
 func (m *Memory) Layout() Layout { return m.layout }
 
-// Counter returns the always-on reference counter.
-func (m *Memory) Counter() *trace.Counter { return m.counter }
+// Counter returns the always-on reference counter, materialized from
+// the flat flush tally. Totals include staged references only after a
+// Flush (the engine flushes before it reports results).
+func (m *Memory) Counter() *trace.Counter {
+	c := m.counter
+	*c = trace.Counter{}
+	for idx, n := range m.tally {
+		if n == 0 {
+			continue
+		}
+		pe := idx & (trace.MaxPEs - 1)
+		op := idx >> 6 & 1
+		obj := idx >> 7
+		c.ByObj[obj][op] += n
+		c.ByPE[pe] += n
+	}
+	return c
+}
 
-// SetSink replaces the trace sink (e.g. to start/stop full tracing).
+// SetSink replaces the trace sink (e.g. to start/stop full tracing),
+// flushing staged references to the previous sink first.
 func (m *Memory) SetSink(s trace.Sink) {
+	m.Flush()
 	if s == nil {
 		s = trace.Discard
 	}
 	m.sink = s
+	m.batch, _ = s.(trace.BatchSink)
 }
 
 // Region returns the region of the given worker and area.
@@ -153,36 +301,75 @@ func (m *Memory) Region(pe int, area trace.Area) Region {
 	return Region{PE: pe, Area: area, Base: base, Limit: base + m.areaSize[area]}
 }
 
-// Classify maps an address to its owning worker and area.
+// Classify maps an address to its owning worker and area in O(1): one
+// load from the layout's block-classification table. Regions are
+// Align-aligned, so every Align-word block belongs to exactly one
+// (worker, area) pair.
 func (m *Memory) Classify(addr int) (pe int, area trace.Area) {
-	if addr < 0 || addr >= len(m.words) {
+	if uint(addr) >= uint(len(m.words)) {
 		return -1, trace.AreaNone
 	}
-	pe = addr / m.span
-	off := addr % m.span
-	for a := trace.AreaHeap; a <= trace.AreaMsg; a++ {
-		if off < m.areaOff[a]+m.areaSize[a] {
-			return pe, a
-		}
-	}
-	return pe, trace.AreaNone
+	e := m.classTab[addr>>alignShift]
+	return int(e >> 3), trace.Area(e & 7)
 }
 
-// Read returns the word at addr, emitting a read reference attributed to
-// the accessing PE with the given object classification.
+// Read returns the word at addr, emitting a read reference attributed
+// to the accessing PE with the given object classification. pe must be
+// a valid worker index (< Layout.Workers).
 func (m *Memory) Read(pe int, addr int, obj trace.ObjType) Word {
-	r := trace.Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpRead, Obj: obj}
-	m.counter.Add(r)
-	m.sink.Add(r)
+	n := uint(m.nStage)
+	if n >= stageRefs {
+		m.Flush()
+		n = 0
+	}
+	m.stage[n] = Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpRead, Obj: obj}
+	m.nStage = int(n) + 1
 	return m.words[addr]
 }
 
-// Write stores w at addr, emitting a write reference.
+// Write stores w at addr, emitting a write reference. pe must be a
+// valid worker index (< Layout.Workers).
 func (m *Memory) Write(pe int, addr int, w Word, obj trace.ObjType) {
-	r := trace.Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpWrite, Obj: obj}
-	m.counter.Add(r)
-	m.sink.Add(r)
+	n := uint(m.nStage)
+	if n >= stageRefs {
+		m.Flush()
+		n = 0
+	}
+	m.stage[n] = Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpWrite, Obj: obj}
+	m.nStage = int(n) + 1
 	m.words[addr] = w
+}
+
+// Flush drains the staging buffer: counter tallies and dirty-block
+// marks are folded into one flat pass, then the batch is handed to the
+// sink (one AddBatch call when the sink supports batches) and the
+// buffer is reset for reuse. Flush is idempotent and cheap when the
+// buffer is empty.
+func (m *Memory) Flush() {
+	refs := m.stage[:m.nStage]
+	if len(refs) == 0 {
+		return
+	}
+	tally := m.tally
+	dirty := m.dirty
+	for _, r := range refs {
+		// One read-modify-write tallies (obj, op, PE) at once; the
+		// public counter shape is unfolded lazily in Counter().
+		tally[(uint(r.Obj)<<1|uint(r.Op))<<6|uint(r.PE)&(trace.MaxPEs-1)]++
+		// Branchless dirty mark: reads OR in a zero bit (OpRead is 0),
+		// writes set their block's bit — no data-dependent branch on
+		// the op, which alternates too unpredictably to forecast.
+		block := uint(r.Addr) >> dirtyShift
+		dirty[block>>6] |= uint64(r.Op) << (block & 63)
+	}
+	if m.batch != nil {
+		m.batch.AddBatch(refs)
+	} else {
+		for _, r := range refs {
+			m.sink.Add(r)
+		}
+	}
+	m.nStage = 0
 }
 
 // Peek reads addr without instrumentation. Host-side use only (answer
@@ -190,7 +377,44 @@ func (m *Memory) Write(pe int, addr int, w Word, obj trace.ObjType) {
 func (m *Memory) Peek(addr int) Word { return m.words[addr] }
 
 // Poke writes addr without instrumentation. Host-side use only.
-func (m *Memory) Poke(addr int, w Word) { m.words[addr] = w }
+func (m *Memory) Poke(addr int, w Word) {
+	block := uint(addr) >> dirtyShift
+	m.dirty[block>>6] |= 1 << (block & 63)
+	m.words[addr] = w
+}
 
 // Size returns the total address-space size in words.
 func (m *Memory) Size() int { return len(m.words) }
+
+// Release flushes the staging buffer, re-zeroes every dirty block and
+// returns the slab to the shared pool for the next NewMemory of the
+// same total size. Only touched blocks are cleared — O(touched words)
+// — restoring the all-zero invariant recycled slabs rely on
+// (TestReleaseRestoresZeroSlab scans for violations). The Memory must
+// not be used after Release.
+func (m *Memory) Release() {
+	if m.released {
+		return
+	}
+	m.Flush()
+	m.released = true
+	words := m.words
+	m.words = nil // poison: any later access panics rather than corrupting the pool
+	for wi, dbits := range m.dirty {
+		for dbits != 0 {
+			block := wi<<6 + bits.TrailingZeros64(dbits)
+			dbits &= dbits - 1
+			lo := block << dirtyShift
+			if lo >= len(words) {
+				continue
+			}
+			hi := lo + 1<<dirtyShift
+			if hi > len(words) {
+				hi = len(words)
+			}
+			clear(words[lo:hi])
+		}
+		m.dirty[wi] = 0
+	}
+	putSlab(words)
+}

@@ -1,0 +1,51 @@
+// Package profflag is the shared implementation behind the CLIs'
+// -cpuprofile/-memprofile flags (cmd/rapwam, cmd/tracegen,
+// cmd/cachesim, cmd/experiments): start CPU profiling up front, write
+// the heap profile at shutdown, and stay safe on error paths.
+package profflag
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns
+// an idempotent stop function that ends the CPU profile and writes the
+// heap profile (when memPath is non-empty). Setup or teardown errors
+// are reported through fail, the caller's fatal handler; fail may
+// itself call the returned stop function — the idempotence guard flips
+// before any work, so re-entry is a no-op rather than a loop. Empty
+// paths make the corresponding half a no-op.
+func Start(cpuPath, memPath string, fail func(error)) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC() // report live steady-state heap, not transients
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}
+	}
+}

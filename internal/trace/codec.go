@@ -223,7 +223,12 @@ func (cw *ChunkWriter) Add(r Ref) {
 	}
 }
 
-// AddBatch implements BatchSink.
+// AddBatch implements BatchSink. Chunk-aligned prefixes of the batch
+// are encoded straight from the caller's slice (the encode is
+// synchronous, so nothing is retained past the call); only the
+// sub-chunk tail is staged. A producer flushing a staging buffer of
+// exactly codecChunkRefs references therefore encodes with no
+// intermediate copy at all.
 func (cw *ChunkWriter) AddBatch(refs []Ref) {
 	for len(refs) > 0 {
 		if cw.err != nil {
@@ -232,6 +237,11 @@ func (cw *ChunkWriter) AddBatch(refs []Ref) {
 		if cw.closed {
 			cw.err = fmt.Errorf("trace: ChunkWriter.AddBatch after Close")
 			return
+		}
+		if len(cw.chunk) == 0 && len(refs) >= codecChunkRefs {
+			cw.encodeChunk(refs[:codecChunkRefs])
+			refs = refs[codecChunkRefs:]
+			continue
 		}
 		n := codecChunkRefs - len(cw.chunk)
 		if n > len(refs) {
@@ -245,43 +255,91 @@ func (cw *ChunkWriter) AddBatch(refs []Ref) {
 	}
 }
 
-// flushChunk encodes and writes the pending chunk.
+// flushChunk encodes and writes the pending staged chunk.
 func (cw *ChunkWriter) flushChunk() {
 	if cw.err != nil || len(cw.chunk) == 0 {
 		return
 	}
-	enc := cw.enc[:0]
+	cw.encodeChunk(cw.chunk)
+	cw.chunk = cw.chunk[:0]
+}
+
+// encodeChunk encodes one chunk's references (at most codecChunkRefs)
+// and writes the framed result. The inner loop emits tag bytes and
+// zigzag-varint address deltas by index into a worst-case-sized buffer
+// — no per-reference function calls — which is the dominant cost of
+// cold trace generation after the emulator itself.
+func (cw *ChunkWriter) encodeChunk(refs []Ref) {
+	if cap(cw.enc) < len(refs)*maxEncodedRefBytes {
+		cw.enc = make([]byte, len(refs)*maxEncodedRefBytes)
+	}
+	buf := cw.enc[:cap(cw.enc)]
+	i := 0
+	// Per-PE state lives in stack-local tables indexed by the raw PE
+	// byte: no slice bounds checks, no aliasing with the writer's heap
+	// state, so the inner loop keeps its working set in registers and
+	// L1. The two common shapes — same-PE single-byte delta and
+	// PE-switch single-byte delta — each collapse into one merged
+	// store (the buffer has maxEncodedRefBytes of slack per reference,
+	// so the wide store never overruns).
 	var prevAddr [256]uint32
+	var perPE [256]int64
 	prevPE := -1
-	for _, r := range cw.chunk {
-		if int(r.PE) >= cw.meta.PEs {
-			cw.err = fmt.Errorf("trace: reference PE %d outside the declared %d PEs", r.PE, cw.meta.PEs)
-			cw.chunk = cw.chunk[:0]
+	pes := cw.meta.PEs
+	for _, r := range refs {
+		if int(r.PE) >= pes {
+			cw.err = fmt.Errorf("trace: reference PE %d outside the declared %d PEs", r.PE, pes)
 			return
 		}
 		if r.Obj >= 32 {
 			cw.err = fmt.Errorf("trace: object type %d does not fit the codec's 5-bit field", r.Obj)
-			cw.chunk = cw.chunk[:0]
 			return
 		}
 		tag := byte(r.Obj) << 1
 		if r.Op == OpWrite {
 			tag |= tagOpWrite
 		}
-		if int(r.PE) == prevPE {
+		pe := r.PE
+		u := zigzag(int64(r.Addr) - int64(prevAddr[pe]))
+		prevAddr[pe] = r.Addr
+		perPE[pe]++
+		if int(pe) == prevPE {
 			tag |= tagSamePE
-			enc = append(enc, tag)
+			if u < 0x80 {
+				// tag + 1-byte delta as one 16-bit store.
+				binary.LittleEndian.PutUint16(buf[i:], uint16(tag)|uint16(u)<<8)
+				i += 2
+				continue
+			}
+			buf[i] = tag
+			i++
 		} else {
-			enc = append(enc, tag, r.PE)
-			prevPE = int(r.PE)
+			prevPE = int(pe)
+			if u < 0x80 {
+				// tag + PE + 1-byte delta as one 32-bit store (the
+				// fourth byte is slack, overwritten by the next ref).
+				binary.LittleEndian.PutUint32(buf[i:], uint32(tag)|uint32(pe)<<8|uint32(u)<<16)
+				i += 3
+				continue
+			}
+			buf[i] = tag
+			buf[i+1] = pe
+			i += 2
 		}
-		enc = appendUvarint(enc, zigzag(int64(r.Addr)-int64(prevAddr[r.PE])))
-		prevAddr[r.PE] = r.Addr
-		cw.perPE[r.PE]++
+		for u >= 0x80 {
+			buf[i] = byte(u) | 0x80
+			i++
+			u >>= 7
+		}
+		buf[i] = byte(u)
+		i++
 	}
-	cw.enc = enc // keep the grown buffer for the next chunk
+	for p := 0; p < pes; p++ {
+		cw.perPE[p] += perPE[p]
+	}
+	enc := buf[:i]
 	frame := make([]byte, 0, 2*binary.MaxVarintLen64+4)
-	frame = appendUvarint(frame, uint64(len(cw.chunk)))
+	frame = appendUvarint(frame, uint64(len(refs)))
 	frame = appendUvarint(frame, uint64(len(enc)))
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(enc))
@@ -291,8 +349,7 @@ func (cw *ChunkWriter) flushChunk() {
 	} else if _, err := cw.w.Write(enc); err != nil {
 		cw.err = err
 	}
-	cw.total += int64(len(cw.chunk))
-	cw.chunk = cw.chunk[:0]
+	cw.total += int64(len(refs))
 }
 
 // Close flushes the partial chunk, writes the end-of-chunks marker and
@@ -516,6 +573,10 @@ func (cr *ChunkReader) Replay(sink Sink) (int64, error) {
 	}
 	cr.done = true
 	bs, isBatch := sink.(BatchSink)
+	// Decoded chunks are freshly allocated and never touched again, so
+	// a stable-batch consumer (e.g. the fan-out dispatcher) may retain
+	// and share them without the defensive copy AddBatch would make.
+	sbs, isStable := sink.(StableBatchSink)
 	var total int64
 	perPE := make([]int64, cr.meta.PEs)
 	for {
@@ -555,7 +616,9 @@ func (cr *ChunkReader) Replay(sink Sink) (int64, error) {
 			return total, fmt.Errorf("trace: chunk at ref %d: %w", total, err)
 		}
 		total += int64(len(refs))
-		if isBatch {
+		if isStable {
+			sbs.AddBatchStable(refs)
+		} else if isBatch {
 			bs.AddBatch(refs)
 		} else {
 			for _, r := range refs {

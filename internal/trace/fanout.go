@@ -3,10 +3,12 @@ package trace
 import "sync"
 
 // BatchSink is an optional extension of Sink for consumers that can
-// process whole batches of references at once. The fan-out dispatcher
-// uses it to amortize the per-reference interface call; the batch slice
-// is shared and read-only — implementations must not retain or mutate
-// it after AddBatch returns.
+// process whole batches of references at once. The engine's staging
+// buffer and the fan-out dispatcher use it to amortize the
+// per-reference interface call. The batch slice is only valid for the
+// duration of the call and is read-only: implementations must not
+// mutate it, and must copy anything they need after AddBatch returns
+// (producers such as mem.Memory reuse the slice for the next batch).
 type BatchSink interface {
 	Sink
 	AddBatch(refs []Ref)
@@ -123,12 +125,49 @@ func (f *FanOut) Add(r Ref) {
 	}
 }
 
-// AddBatch implements BatchSink. Large batches are dispatched as
-// sub-slices of refs without copying, so the caller must not mutate
-// refs until Close returns (Buffer.ReplayAll relies on this to replay
-// a buffered trace with zero copies). Like Add, AddBatch panics after
-// Close.
+// AddBatch implements BatchSink: the batch is copied into the
+// dispatcher's own chunk buffers, so per the BatchSink contract the
+// caller's slice is free for reuse the moment AddBatch returns. Like
+// Add, AddBatch panics after Close.
 func (f *FanOut) AddBatch(refs []Ref) {
+	if f.closed {
+		panic("trace: FanOut.AddBatch after Close")
+	}
+	for len(refs) > 0 {
+		if f.chunk == nil {
+			f.chunk = make([]Ref, 0, f.chunkRefs)
+		}
+		n := f.chunkRefs - len(f.chunk)
+		if n > len(refs) {
+			n = len(refs)
+		}
+		f.chunk = append(f.chunk, refs[:n]...)
+		refs = refs[n:]
+		if len(f.chunk) == f.chunkRefs {
+			f.send(f.chunk)
+			f.chunk = nil
+		}
+	}
+}
+
+// StableBatchSink is the capability interface for batch consumers
+// that can ingest a batch without copying, provided the producer
+// guarantees the slice is immutable and outlives the sink's processing
+// (for a FanOut, until Close returns). Buffer.ReplayAll and
+// ChunkReader.Replay qualify as producers (an in-memory buffer and
+// freshly decoded chunks respectively) and prefer this path; a reused
+// staging buffer does not qualify and must use AddBatch.
+type StableBatchSink interface {
+	BatchSink
+	// AddBatchStable consumes the batch without copying; the caller
+	// promises never to mutate the slice while the sink can still
+	// read it.
+	AddBatchStable(refs []Ref)
+}
+
+// AddBatchStable implements StableBatchSink: full chunks are
+// dispatched to the consumers as sub-slices of refs without copying.
+func (f *FanOut) AddBatchStable(refs []Ref) {
 	if f.closed {
 		panic("trace: FanOut.AddBatch after Close")
 	}
@@ -188,6 +227,6 @@ func (b *Buffer) ReplayAll(sinks ...Sink) {
 		return
 	}
 	f := NewFanOut(FanOutConfig{}, sinks...)
-	f.AddBatch(b.Refs)
+	f.AddBatchStable(b.Refs) // the buffer is immutable for the duration
 	f.Close()
 }

@@ -258,9 +258,12 @@ type Sink interface {
 // The nil sink: discards everything.
 type nullSink struct{}
 
-func (nullSink) Add(Ref) {}
+func (nullSink) Add(Ref)        {}
+func (nullSink) AddBatch([]Ref) {}
 
-// Discard is a Sink that drops all references.
+// Discard is a Sink that drops all references. It implements BatchSink,
+// so batch producers (the engine's staging buffer, Buffer.Replay) pay
+// nothing per reference when tracing is off.
 var Discard Sink = nullSink{}
 
 // Tee duplicates references to several sinks in order.
@@ -270,6 +273,21 @@ type Tee []Sink
 func (t Tee) Add(r Ref) {
 	for _, s := range t {
 		s.Add(r)
+	}
+}
+
+// AddBatch forwards a batch to every sink in the tee (BatchSink),
+// preserving per-sink order; sinks without batch support receive the
+// references one at a time.
+func (t Tee) AddBatch(refs []Ref) {
+	for _, s := range t {
+		if bs, ok := s.(BatchSink); ok {
+			bs.AddBatch(refs)
+		} else {
+			for _, r := range refs {
+				s.Add(r)
+			}
+		}
 	}
 }
 
@@ -310,14 +328,20 @@ func (b *Buffer) Replay(sink Sink) {
 	}
 }
 
+// MaxPEs is the largest PE count the reference-level tooling supports:
+// Counter.ByPE is sized to it, the snoop directory packs holder sets
+// into a 64-bit mask, and core.New and cache.Config.Validate both
+// reject configurations beyond it.
+const MaxPEs = 64
+
 // Counter tallies references by object type and operation without
 // storing them. It is the cheap always-on instrumentation the engine
 // uses for Table 2 style statistics.
 type Counter struct {
 	// ByObj[obj][op] counts references per object type and operation.
 	ByObj [NumObjTypes][2]int64
-	// ByPE counts total references per PE (up to 64 PEs).
-	ByPE [64]int64
+	// ByPE counts total references per PE (up to MaxPEs).
+	ByPE [MaxPEs]int64
 }
 
 // Add tallies r.
@@ -325,6 +349,17 @@ func (c *Counter) Add(r Ref) {
 	c.ByObj[r.Obj][r.Op]++
 	if int(r.PE) < len(c.ByPE) {
 		c.ByPE[r.PE]++
+	}
+}
+
+// AddBatch tallies a batch (BatchSink): the flat loop the engine's
+// staging buffer folds its counter update into at flush time.
+func (c *Counter) AddBatch(refs []Ref) {
+	for _, r := range refs {
+		c.ByObj[r.Obj][r.Op]++
+		if int(r.PE) < len(c.ByPE) {
+			c.ByPE[r.PE]++
+		}
 	}
 }
 
@@ -355,14 +390,13 @@ func (c *Counter) Writes() int64 {
 	return n
 }
 
-// ByArea aggregates counts per storage area.
-func (c *Counter) ByArea() map[Area]int64 {
-	out := make(map[Area]int64, NumAreas)
+// ByArea aggregates counts per storage area. The result is indexed by
+// Area (a fixed array, not a map), so iterating it — and therefore any
+// stats output built from it — is deterministic across runs.
+func (c *Counter) ByArea() [NumAreas]int64 {
+	var out [NumAreas]int64
 	for obj, ops := range c.ByObj {
-		a := ObjType(obj).Area()
-		if n := ops[0] + ops[1]; n != 0 {
-			out[a] += n
-		}
+		out[ObjType(obj).Area()] += ops[0] + ops[1]
 	}
 	return out
 }

@@ -100,6 +100,15 @@ type MachineStats = core.Stats
 // RefCounter re-exports the by-object-type reference counter.
 type RefCounter = trace.Counter
 
+// Area re-exports the RAP-WAM storage-area identifier; it indexes
+// RefCounter.ByArea's result and renders its lowercase name via
+// String.
+type Area = trace.Area
+
+// NumAreas re-exports the number of distinct storage areas (the length
+// of RefCounter.ByArea's result, AreaNone included at index 0).
+const NumAreas = trace.NumAreas
+
 // Ref re-exports a single memory reference (one word read or written
 // by one PE, classified per the paper's Table 1).
 type Ref = trace.Ref
@@ -184,6 +193,7 @@ func (p *Program) Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.Close() // result is self-contained; recycle the memory slab
 	out := newResult(res)
 	if buf != nil {
 		out.Trace = &Trace{buf: buf}
