@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine fmt vet docs
+.PHONY: all build test race bench bench-engine bench-service fmt vet docs
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mem/ ./internal/trace/ ./internal/cache/ ./internal/experiments/
+	$(GO) test -race ./internal/core/ ./internal/mem/ ./internal/trace/ ./internal/cache/ ./internal/experiments/ ./internal/tracestore/ ./internal/service/
 
 # bench runs the cache-replay benchmarks with -benchmem and records the
 # result in BENCH_cache.json (simrefs/s, allocs/op) so the simulator's
@@ -25,6 +25,11 @@ bench:
 # generation, refs/s and MLIPS) and records BENCH_engine.json.
 bench-engine:
 	sh scripts/bench_engine.sh BENCH_engine.json
+
+# bench-service runs the serving-layer benchmarks (warm-cache req/s and
+# p50/p99 latency over real HTTP) and records BENCH_service.json.
+bench-service:
+	sh scripts/bench_service.sh BENCH_service.json
 
 # docs checks the published markdown (broken relative links) and runs
 # the committed Example functions.

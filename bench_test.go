@@ -8,6 +8,7 @@ package rapwam
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -19,7 +20,7 @@ import (
 func BenchmarkTable1Classify(b *testing.B) {
 	bm, _ := BenchmarkByName("tak")
 	for i := 0; i < b.N; i++ {
-		tr, err := TraceBenchmark(bm, 2, false)
+		tr, err := TraceBenchmark(context.Background(), bm, 2, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -32,7 +33,7 @@ func BenchmarkTable1Classify(b *testing.B) {
 // WAM work across processor counts.
 func BenchmarkFig2DerivOverheads(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := RunFigure2([]int{1, 2, 4, 8, 16})
+		f, err := RunFigure2(context.Background(), []int{1, 2, 4, 8, 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func BenchmarkFig2DerivOverheads(b *testing.B) {
 // processors.
 func BenchmarkTable2Stats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t2, err := RunTable2(8)
+		t2, err := RunTable2(context.Background(), 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func BenchmarkTable2Stats(b *testing.B) {
 // benchmarks against the large sequential suite.
 func BenchmarkTable3Fit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t3, err := RunTable3()
+		t3, err := RunTable3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkTable3Fit(b *testing.B) {
 func BenchmarkFig4Traffic(b *testing.B) {
 	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
 	for i := 0; i < b.N; i++ {
-		f, err := RunFigure4([]int{1, 2, 4, 8}, sizes)
+		f, err := RunFigure4(context.Background(), []int{1, 2, 4, 8}, sizes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkFig4Traffic(b *testing.B) {
 // BenchmarkMLIPSCalculation regenerates the §3.3 feasibility numbers.
 func BenchmarkMLIPSCalculation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		m, err := RunMLIPS(256, 2)
+		m, err := RunMLIPS(context.Background(), 256, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func BenchmarkMLIPSCalculation(b *testing.B) {
 // BenchmarkBusContention regenerates the §3.3 bus efficiency estimate.
 func BenchmarkBusContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bs, err := RunBusStudy(8, 256)
+		bs, err := RunBusStudy(context.Background(), 8, 256)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 	bm, _ := BenchmarkByName("qsort")
 	var instrs int64
 	for i := 0; i < b.N; i++ {
-		res, err := RunBenchmark(bm, 1, true)
+		res, err := RunBenchmark(context.Background(), bm, 1, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 // write-in broadcast cache.
 func BenchmarkCacheSimThroughput(b *testing.B) {
 	bm, _ := BenchmarkByName("qsort")
-	tr, err := TraceBenchmark(bm, 4, false)
+	tr, err := TraceBenchmark(context.Background(), bm, 4, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func replayBenchConfigs(pes int) []CacheConfig {
 // pre-pipeline formulation).
 func BenchmarkReplaySequential(b *testing.B) {
 	bm, _ := BenchmarkByName("qsort")
-	tr, err := TraceBenchmark(bm, 4, false)
+	tr, err := TraceBenchmark(context.Background(), bm, 4, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func BenchmarkReplaySequential(b *testing.B) {
 // walk feeding all simulators concurrently.
 func BenchmarkReplayFanOut(b *testing.B) {
 	bm, _ := BenchmarkByName("qsort")
-	tr, err := TraceBenchmark(bm, 4, false)
+	tr, err := TraceBenchmark(context.Background(), bm, 4, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func BenchmarkReplayFanOut(b *testing.B) {
 // steady-state replay cost (0 allocs/op with the flat kernel).
 func BenchmarkReplaySteadyState(b *testing.B) {
 	bm, _ := BenchmarkByName("qsort")
-	tr, err := TraceBenchmark(bm, 4, false)
+	tr, err := TraceBenchmark(context.Background(), bm, 4, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -239,11 +240,11 @@ func BenchmarkPerBenchmarkParallel(b *testing.B) {
 		bm := bm
 		b.Run(bm.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				seq, err := RunBenchmark(bm, 1, true)
+				seq, err := RunBenchmark(context.Background(), bm, 1, true)
 				if err != nil {
 					b.Fatal(err)
 				}
-				par, err := RunBenchmark(bm, 8, false)
+				par, err := RunBenchmark(context.Background(), bm, 8, false)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -263,11 +264,11 @@ func BenchmarkAblationRuntimeChecks(b *testing.B) {
 		b.Skip("checked variant unavailable")
 	}
 	for i := 0; i < b.N; i++ {
-		u, err := RunBenchmark(unchecked, 8, false)
+		u, err := RunBenchmark(context.Background(), unchecked, 8, false)
 		if err != nil {
 			b.Fatal(err)
 		}
-		c, err := RunBenchmark(checked, 8, false)
+		c, err := RunBenchmark(context.Background(), checked, 8, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -282,7 +283,7 @@ func BenchmarkAblationRuntimeChecks(b *testing.B) {
 func BenchmarkAblationIndexing(b *testing.B) {
 	bm, _ := BenchmarkByName("deriv")
 	for i := 0; i < b.N; i++ {
-		res, err := RunBenchmark(bm, 1, true)
+		res, err := RunBenchmark(context.Background(), bm, 1, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +303,7 @@ var sinkString string
 
 // BenchmarkRenderReports measures the report formatting paths.
 func BenchmarkRenderReports(b *testing.B) {
-	t2, err := RunTable2(4)
+	t2, err := RunTable2(context.Background(), 4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func BenchmarkRenderReports(b *testing.B) {
 // persistent trace store.
 func BenchmarkTraceEncode(b *testing.B) {
 	bm, _ := BenchmarkByName("qsort")
-	tr, err := TraceBenchmark(bm, 4, false)
+	tr, err := TraceBenchmark(context.Background(), bm, 4, false)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func BenchmarkTraceEncode(b *testing.B) {
 // BENCH_cache.json by scripts/bench_cache.sh.
 func BenchmarkTraceDecode(b *testing.B) {
 	bm, _ := BenchmarkByName("qsort")
-	tr, err := TraceBenchmark(bm, 4, false)
+	tr, err := TraceBenchmark(context.Background(), bm, 4, false)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rapwam
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bench"
@@ -87,9 +88,11 @@ func TraceStoreKey(benchmark string, pes int, sequential bool) TraceKey {
 // / SetTraceDir) holds the trace and run record for the benchmark
 // cell, generating them with one streaming emulator run if absent.
 // Generation of distinct cells may proceed concurrently; concurrent
-// calls for the same cell run the emulator once.
-func EnsureTraceStored(b Benchmark, pes int, sequential bool) (TraceKey, error) {
-	return bench.EnsureStored(b, pes, sequential)
+// calls for the same cell run the emulator once. Cancelling ctx aborts
+// an in-flight generation (the partial write is cleaned up) and
+// returns ctx.Err().
+func EnsureTraceStored(ctx context.Context, b Benchmark, pes int, sequential bool) (TraceKey, error) {
+	return bench.EnsureStored(ctx, b, pes, sequential)
 }
 
 // TraceStoreEntry re-exports one stored trace found by TraceStore.List.

@@ -27,9 +27,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 
@@ -60,8 +64,21 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile (after replay) to this file")
 	)
 	flag.Parse()
-	tr, err := loadTrace(*traceDir, *benchSrc, *pes, *seqTrace)
+	if *pes < 1 || *pes > rapwam.MaxPEs {
+		fmt.Fprintf(os.Stderr, "cachesim: -pes %d: PE count must be in [1, %d]\n", *pes, rapwam.MaxPEs)
+		os.Exit(2)
+	}
+	// SIGINT/SIGTERM cancel the command context, aborting an in-flight
+	// store-backed trace generation cleanly (the partial temp file is
+	// removed).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	tr, err := loadTrace(ctx, *traceDir, *benchSrc, *pes, *seqTrace)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "cachesim: interrupted while generating the trace; the store holds only complete cells")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	fmt.Printf("trace: %d references\n", tr.Len())
@@ -111,7 +128,7 @@ func main() {
 // loadTrace resolves the trace source: a file argument (either binary
 // format, sniffed), or a (store, benchmark) cell generated on first
 // use.
-func loadTrace(traceDir, benchName string, pes int, sequential bool) (*rapwam.Trace, error) {
+func loadTrace(ctx context.Context, traceDir, benchName string, pes int, sequential bool) (*rapwam.Trace, error) {
 	switch {
 	case traceDir != "" && benchName == "":
 		return nil, fmt.Errorf("-tracedir needs -bench to name the trace cell (a file argument bypasses the store)")
@@ -126,7 +143,7 @@ func loadTrace(traceDir, benchName string, pes int, sequential bool) (*rapwam.Tr
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", benchName)
 		}
-		return rapwam.TraceBenchmark(b, pes, sequential)
+		return rapwam.TraceBenchmark(ctx, b, pes, sequential)
 	case flag.NArg() == 1:
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {

@@ -25,14 +25,27 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 
 	"repro/internal/profflag"
 )
+
+// validatePEs enforces the PE-count bounds at the flag boundary, so a
+// bad -pes/-maxpes fails with one line instead of a deep engine error.
+func validatePEs(flagName string, n int) {
+	if n < 1 || n > rapwam.MaxPEs {
+		fmt.Fprintf(os.Stderr, "experiments: -%s %d: PE count must be in [1, %d]\n", flagName, n, rapwam.MaxPEs)
+		os.Exit(2)
+	}
+}
 
 func main() {
 	var (
@@ -48,6 +61,15 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+	validatePEs("pes", *pes)
+	validatePEs("maxpes", *maxPEs)
+
+	// Ctrl-C / SIGTERM cancel the experiment context: in-flight grid
+	// cells (including the emulator's instruction loop) abort promptly,
+	// partial store writes are cleaned up, and the deferred summary
+	// still prints.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	stop := profflag.Start(*cpuProf, *memProf, func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -84,6 +106,11 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: interrupted during %s; completed experiments were printed, the trace store holds only complete cells\n", name)
+				stop()
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -100,7 +127,7 @@ func main() {
 		for n := 12; n <= *maxPEs; n += 4 {
 			counts = append(counts, n)
 		}
-		f, err := rapwam.RunFigure2(counts)
+		f, err := rapwam.RunFigure2(ctx, counts)
 		if err != nil {
 			return err
 		}
@@ -109,7 +136,7 @@ func main() {
 	})
 
 	run("table2", func() error {
-		t2, err := rapwam.RunTable2(*pes)
+		t2, err := rapwam.RunTable2(ctx, *pes)
 		if err != nil {
 			return err
 		}
@@ -118,7 +145,7 @@ func main() {
 	})
 
 	run("table3", func() error {
-		t3, err := rapwam.RunTable3()
+		t3, err := rapwam.RunTable3(ctx)
 		if err != nil {
 			return err
 		}
@@ -127,7 +154,7 @@ func main() {
 	})
 
 	run("fig4", func() error {
-		f, err := rapwam.RunFigure4([]int{1, 2, 4, 8}, []int{64, 128, 256, 512, 1024, 2048, 4096, 8192})
+		f, err := rapwam.RunFigure4(ctx, []int{1, 2, 4, 8}, []int{64, 128, 256, 512, 1024, 2048, 4096, 8192})
 		if err != nil {
 			return err
 		}
@@ -136,7 +163,7 @@ func main() {
 	})
 
 	run("mlips", func() error {
-		m, err := rapwam.RunMLIPS(*cache, *target)
+		m, err := rapwam.RunMLIPS(ctx, *cache, *target)
 		if err != nil {
 			return err
 		}
@@ -145,12 +172,12 @@ func main() {
 	})
 
 	run("bus", func() error {
-		bs, err := rapwam.RunBusStudy(*pes, *cache)
+		bs, err := rapwam.RunBusStudy(ctx, *pes, *cache)
 		if err != nil {
 			return err
 		}
 		fmt.Print(bs.String())
-		des, err := rapwam.RunBusDES("qsort", *pes, *cache, 4)
+		des, err := rapwam.RunBusDES(ctx, "qsort", *pes, *cache, 4)
 		if err != nil {
 			return err
 		}
@@ -160,27 +187,27 @@ func main() {
 	})
 
 	run("ablations", func() error {
-		g, err := rapwam.RunGranularitySweep([]int{0, 1, 2, 3, 4, 6})
+		g, err := rapwam.RunGranularitySweep(ctx, []int{0, 1, 2, 3, 4, 6})
 		if err != nil {
 			return err
 		}
 		fmt.Print(g.String())
 		fmt.Println()
-		l, err := rapwam.RunLineSizeSweep("qsort", 4, 1024, []int{1, 2, 4, 8, 16})
+		l, err := rapwam.RunLineSizeSweep(ctx, "qsort", 4, 1024, []int{1, 2, 4, 8, 16})
 		if err != nil {
 			return err
 		}
 		fmt.Print(l.String())
 		fmt.Println()
 		for _, b := range []string{"deriv", "qsort", "matrix"} {
-			ls, err := rapwam.RunLockShare(b, *pes)
+			ls, err := rapwam.RunLockShare(ctx, b, *pes)
 			if err != nil {
 				return err
 			}
 			fmt.Print(ls.String())
 		}
 		fmt.Println()
-		a, err := rapwam.RunAssocSweep("qsort", 4, 1024, []int{1, 2, 4, 8, 0})
+		a, err := rapwam.RunAssocSweep(ctx, "qsort", 4, 1024, []int{1, 2, 4, 8, 0})
 		if err != nil {
 			return err
 		}

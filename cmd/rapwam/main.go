@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -90,12 +91,13 @@ func main() {
 }
 
 func runBench(name string, pes int, seq, stats bool, traceOut string) {
+	ctx := context.Background()
 	b, ok := rapwam.BenchmarkByName(name)
 	if !ok {
 		fatal(fmt.Errorf("unknown benchmark %q", name))
 	}
 	if traceOut != "" {
-		tr, err := rapwam.TraceBenchmark(b, pes, seq)
+		tr, err := rapwam.TraceBenchmark(ctx, b, pes, seq)
 		if err != nil {
 			fatal(err)
 		}
@@ -106,7 +108,7 @@ func runBench(name string, pes int, seq, stats bool, traceOut string) {
 		fmt.Printf("%s: %d references traced\n", name, tr.Len())
 		return
 	}
-	res, err := rapwam.RunBenchmark(b, pes, seq)
+	res, err := rapwam.RunBenchmark(ctx, b, pes, seq)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,96 @@
+// Command rapwamd is the experiment results daemon: a long-running
+// HTTP/JSON service exposing every table and figure of the paper over
+// the experiments grid runner, the persistent trace store and a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	rapwamd -results results [-tracedir traces] [-addr :8080] [-par N] [-v]
+//
+// Endpoints (see docs/API.md for parameters and cache-key semantics):
+//
+//	GET /v1/healthz
+//	GET /v1/stats
+//	GET /v1/experiments
+//	GET /v1/experiments/{table1,fig2,table2,table3,fig4,mlips,bus,ablations}
+//	GET /v1/traces
+//	GET /v1/traces/{benchmark}?pes=N&mode=par|seq
+//
+// Every experiment accepts ?format=json|csv|text. Each distinct
+// (experiment, parameters) cell is computed at most once per emulator
+// version: concurrent identical requests share a single grid run, and
+// later requests — including after a restart over the same -results
+// directory — are served from the cache byte-identically with zero
+// emulator runs.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the cancellation
+// reaches in-flight grid computations (and the emulator's instruction
+// loop) end to end, so draining is prompt even mid-sweep and neither
+// store is left with permanent temp droppings.
+//
+// Example session:
+//
+//	rapwamd -results results -tracedir traces &
+//	curl localhost:8080/v1/experiments/fig4          # cold: computes once
+//	curl localhost:8080/v1/experiments/fig4          # warm: disk/memory hit
+//	curl 'localhost:8080/v1/experiments/table2?pes=4&format=csv'
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		resultDir = flag.String("results", "results", "result cache directory (created if needed)")
+		traceDir  = flag.String("tracedir", "", "persistent trace store directory (recommended: cold computations reuse and warm stored traces)")
+		par       = flag.Int("par", 0, "experiment grid parallelism (0 = GOMAXPROCS)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+		verbose   = flag.Bool("v", false, "log requests and computations on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: rapwamd [-addr :8080] [-results DIR] [-tracedir DIR] [-par N] [-v]")
+		os.Exit(2)
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	cfg := rapwam.ServeConfig{
+		Addr:         *addr,
+		ResultDir:    *resultDir,
+		TraceDir:     *traceDir,
+		Parallelism:  *par,
+		DrainTimeout: *drain,
+	}
+	if *verbose {
+		cfg.Log = func(msg string) { fmt.Fprintf(os.Stderr, "rapwamd: %s\n", msg) }
+		rapwam.SetProgress(func(msg string) { fmt.Fprintf(os.Stderr, "rapwamd: grid: %s\n", msg) })
+	}
+
+	fmt.Fprintf(os.Stderr, "rapwamd: serving on %s (results %s, traces %s, emulator %s)\n",
+		*addr, *resultDir, orNone(*traceDir), rapwam.EmulatorVersion())
+	if err := rapwam.Serve(ctx, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "rapwamd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "rapwamd: shut down cleanly")
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -37,12 +37,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro"
 
@@ -138,8 +142,8 @@ func parsePEs(list string) ([]int, error) {
 			continue
 		}
 		n, err := strconv.Atoi(tok)
-		if err != nil || n < 1 || n > 64 {
-			return nil, fmt.Errorf("bad PE count %q", tok)
+		if err != nil || n < 1 || n > rapwam.MaxPEs {
+			return nil, fmt.Errorf("bad PE count %q (need 1..%d)", tok, rapwam.MaxPEs)
 		}
 		out = append(out, n)
 	}
@@ -226,9 +230,21 @@ func cmdGenerate(args []string) {
 		})
 	}
 
+	// Ctrl-C / SIGTERM cancel generation: in-flight engine runs abort,
+	// their partial temp files are removed, and completed cells stay.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	before := store.Stats()
-	err = rapwam.GenerateTraces(cells2targets(cells))
+	err = rapwam.GenerateTraces(ctx, cells2targets(cells))
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			after := store.Stats()
+			stopProfiles()
+			fmt.Fprintf(os.Stderr, "tracegen: interrupted: %d of %d cells generated before the signal; completed cells stay valid, rerun to finish\n",
+				after.Puts-before.Puts, len(cells))
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	after := store.Stats()

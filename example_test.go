@@ -1,6 +1,7 @@
 package rapwam_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -42,7 +43,7 @@ func ExampleTrace_ReplayAll() {
 	if !ok {
 		log.Fatal("unknown benchmark")
 	}
-	tr, err := rapwam.TraceBenchmark(bm, 2, false)
+	tr, err := rapwam.TraceBenchmark(context.Background(), bm, 2, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,12 +93,12 @@ func ExampleOpenTraceStore() {
 	rapwam.ResetEngineRuns()
 
 	// First fetch: generated through the store (one emulator run).
-	tr1, err := rapwam.TraceBenchmark(bm, 2, false)
+	tr1, err := rapwam.TraceBenchmark(context.Background(), bm, 2, false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Second fetch: decoded from disk, no emulator run.
-	tr2, err := rapwam.TraceBenchmark(bm, 2, false)
+	tr2, err := rapwam.TraceBenchmark(context.Background(), bm, 2, false)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ func main() {
 		log.Fatal("qsort benchmark missing")
 	}
 	const pes = 4
-	tr, err := rapwam.TraceBenchmark(bm, pes, false)
+	tr, err := rapwam.TraceBenchmark(context.Background(), bm, pes, false)
 	if err != nil {
 		log.Fatal(err)
 	}

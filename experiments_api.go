@@ -1,6 +1,8 @@
 package rapwam
 
 import (
+	"context"
+
 	"repro/internal/busmodel"
 	"repro/internal/experiments"
 	"repro/internal/tracestore"
@@ -67,8 +69,8 @@ type TraceTarget = experiments.TraceTarget
 // trace store, independent cells concurrently on the bounded worker
 // pool (SetParallelism). cmd/tracegen's generate subcommand is a thin
 // wrapper around it.
-func GenerateTraces(targets []TraceTarget) error {
-	return experiments.GenerateTraces(targets)
+func GenerateTraces(ctx context.Context, targets []TraceTarget) error {
+	return experiments.GenerateTraces(ctx, targets)
 }
 
 // EngineRuns returns the number of emulator executions performed so
@@ -87,8 +89,8 @@ type Figure2 = experiments.Figure2
 
 // RunFigure2 sweeps deriv work/overhead over the given PE counts
 // (paper Figure 2 plots 1 to 40).
-func RunFigure2(peCounts []int) (*Figure2, error) {
-	return experiments.RunFigure2(peCounts)
+func RunFigure2(ctx context.Context, peCounts []int) (*Figure2, error) {
+	return experiments.RunFigure2(ctx, peCounts)
 }
 
 // Table2 re-exports the benchmark-statistics result type.
@@ -96,22 +98,24 @@ type Table2 = experiments.Table2
 
 // RunTable2 gathers benchmark statistics at the given PE count (the
 // paper uses 8).
-func RunTable2(pes int) (*Table2, error) { return experiments.RunTable2(pes) }
+func RunTable2(ctx context.Context, pes int) (*Table2, error) {
+	return experiments.RunTable2(ctx, pes)
+}
 
 // Table3 re-exports the locality-fit result type.
 type Table3 = experiments.Table3
 
 // RunTable3 computes the small-vs-large benchmark locality fit at the
 // paper's 512 and 1024 word cache sizes.
-func RunTable3() (*Table3, error) { return experiments.RunTable3() }
+func RunTable3(ctx context.Context) (*Table3, error) { return experiments.RunTable3(ctx) }
 
 // Figure4 re-exports the coherency-traffic sweep result type.
 type Figure4 = experiments.Figure4
 
 // RunFigure4 sweeps traffic ratio over cache sizes, protocols and PE
 // counts (paper Figure 4).
-func RunFigure4(peCounts, sizes []int) (*Figure4, error) {
-	return experiments.RunFigure4(peCounts, sizes)
+func RunFigure4(ctx context.Context, peCounts, sizes []int) (*Figure4, error) {
+	return experiments.RunFigure4(ctx, peCounts, sizes)
 }
 
 // MLIPS re-exports the §3.3 feasibility calculation result type.
@@ -119,8 +123,8 @@ type MLIPS = experiments.MLIPS
 
 // RunMLIPS re-derives the paper's 2 MLIPS back-of-the-envelope
 // calculation from measured statistics.
-func RunMLIPS(cacheWords int, targetMLIPS float64) (*MLIPS, error) {
-	return experiments.RunMLIPS(cacheWords, targetMLIPS)
+func RunMLIPS(ctx context.Context, cacheWords int, targetMLIPS float64) (*MLIPS, error) {
+	return experiments.RunMLIPS(ctx, cacheWords, targetMLIPS)
 }
 
 // BusStudy re-exports the bus-contention study result type.
@@ -128,8 +132,8 @@ type BusStudy = experiments.BusStudy
 
 // RunBusStudy tabulates shared-memory efficiency against bus bandwidth
 // for the given configuration.
-func RunBusStudy(pes, cacheWords int) (*BusStudy, error) {
-	return experiments.RunBusStudy(pes, cacheWords)
+func RunBusStudy(ctx context.Context, pes, cacheWords int) (*BusStudy, error) {
+	return experiments.RunBusStudy(ctx, pes, cacheWords)
 }
 
 // BusParams re-exports the analytic bus model parameters.
@@ -153,8 +157,8 @@ type GranularitySweep = experiments.GranularitySweep
 // RunGranularitySweep varies deriv's parallelism depth budget,
 // quantifying the parallelism-vs-overhead tradeoff of CGE annotation
 // granularity.
-func RunGranularitySweep(depths []int) (*GranularitySweep, error) {
-	return experiments.RunGranularitySweep(depths)
+func RunGranularitySweep(ctx context.Context, depths []int) (*GranularitySweep, error) {
+	return experiments.RunGranularitySweep(ctx, depths)
 }
 
 // LineSizeSweep re-exports the cache line-size ablation result type.
@@ -162,8 +166,8 @@ type LineSizeSweep = experiments.LineSizeSweep
 
 // RunLineSizeSweep replays a benchmark trace across cache line sizes
 // (the paper fixes 4-word lines; this shows where that sits).
-func RunLineSizeSweep(benchName string, pes, sizeWords int, lines []int) (*LineSizeSweep, error) {
-	return experiments.RunLineSizeSweep(benchName, pes, sizeWords, lines)
+func RunLineSizeSweep(ctx context.Context, benchName string, pes, sizeWords int, lines []int) (*LineSizeSweep, error) {
+	return experiments.RunLineSizeSweep(ctx, benchName, pes, sizeWords, lines)
 }
 
 // LockShare re-exports the synchronization-traffic measurement type.
@@ -171,8 +175,8 @@ type LockShare = experiments.LockShare
 
 // RunLockShare measures the fraction of references to locked objects
 // (goal stack, parcall counters, messages).
-func RunLockShare(benchName string, pes int) (*LockShare, error) {
-	return experiments.RunLockShare(benchName, pes)
+func RunLockShare(ctx context.Context, benchName string, pes int) (*LockShare, error) {
+	return experiments.RunLockShare(ctx, benchName, pes)
 }
 
 // BusDES re-exports the discrete-event bus validation type.
@@ -180,8 +184,8 @@ type BusDES = experiments.BusDES
 
 // RunBusDES replays real bus transactions through the discrete-event
 // bus simulator and cross-checks the analytic M/M/1 model.
-func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) (*BusDES, error) {
-	return experiments.RunBusDES(benchName, pes, cacheWords, busWordsPerCycle)
+func RunBusDES(ctx context.Context, benchName string, pes, cacheWords int, busWordsPerCycle float64) (*BusDES, error) {
+	return experiments.RunBusDES(ctx, benchName, pes, cacheWords, busWordsPerCycle)
 }
 
 // AssocSweep re-exports the associativity ablation result type.
@@ -190,6 +194,6 @@ type AssocSweep = experiments.AssocSweep
 // RunAssocSweep compares the paper's fully associative cache model with
 // set-associative caches of the same capacity (0 ways = fully
 // associative).
-func RunAssocSweep(benchName string, pes, sizeWords int, ways []int) (*AssocSweep, error) {
-	return experiments.RunAssocSweep(benchName, pes, sizeWords, ways)
+func RunAssocSweep(ctx context.Context, benchName string, pes, sizeWords int, ways []int) (*AssocSweep, error) {
+	return experiments.RunAssocSweep(ctx, benchName, pes, sizeWords, ways)
 }

@@ -22,6 +22,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -176,8 +178,13 @@ type RunConfig struct {
 }
 
 // Run compiles and executes the benchmark. Every Run is one emulator
-// execution and counts toward EngineRuns.
-func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
+// execution and counts toward EngineRuns. Cancelling ctx aborts the
+// engine mid-run (within a few thousand simulated cycles) and returns
+// ctx.Err().
+func Run(ctx context.Context, b Benchmark, cfg RunConfig) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	engineRuns.Add(1)
 	code, err := compile.Compile(b.Source, b.Query, compile.Options{Sequential: cfg.Sequential})
 	if err != nil {
@@ -187,12 +194,16 @@ func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
 		PEs:    cfg.PEs,
 		Layout: cfg.Layout,
 		Sink:   cfg.Sink,
+		Cancel: ctx.Done(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 	}
 	res, err := eng.Run()
 	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 	}
 	// The result is self-contained (bindings are rendered strings), so
@@ -216,9 +227,9 @@ func Run(b Benchmark, cfg RunConfig) (*core.Result, error) {
 // references instead of buffering them pass their own Sink via
 // RunConfig; callers that should never materialize the trace replay it
 // from the store (tracestore.Store.Replay) instead.
-func Trace(b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, error) {
+func Trace(ctx context.Context, b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, error) {
 	if s := TraceStore(); s != nil {
-		if _, err := EnsureStored(b, pes, sequential); err != nil {
+		if _, err := EnsureStored(ctx, b, pes, sequential); err != nil {
 			return nil, nil, err
 		}
 		buf, _, err := s.Load(StoreKey(b.Name, pes, sequential))
@@ -228,7 +239,7 @@ func Trace(b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, 
 		return buf, nil, nil
 	}
 	buf := trace.NewBuffer(1 << 20)
-	res, err := Run(b, RunConfig{PEs: pes, Sequential: sequential, Sink: buf})
+	res, err := Run(ctx, b, RunConfig{PEs: pes, Sequential: sequential, Sink: buf})
 	if err != nil {
 		return nil, nil, err
 	}

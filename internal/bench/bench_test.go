@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestPaperBenchmarksSequential(t *testing.T) {
 	for _, b := range Paper() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			res, err := Run(b, RunConfig{PEs: 1, Sequential: true})
+			res, err := Run(context.Background(), b, RunConfig{PEs: 1, Sequential: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -23,7 +24,7 @@ func TestPaperBenchmarksParallel8(t *testing.T) {
 	for _, b := range Paper() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			res, err := Run(b, RunConfig{PEs: 8})
+			res, err := Run(context.Background(), b, RunConfig{PEs: 8})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,7 +42,7 @@ func TestLargeBenchmarks(t *testing.T) {
 	for _, b := range Large() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			res, err := Run(b, RunConfig{PEs: 1, Sequential: true})
+			res, err := Run(context.Background(), b, RunConfig{PEs: 1, Sequential: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -55,11 +56,11 @@ func TestParallelResultsMatchSequentialResults(t *testing.T) {
 	for _, b := range Paper() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			seq, err := Run(b, RunConfig{PEs: 1, Sequential: true})
+			seq, err := Run(context.Background(), b, RunConfig{PEs: 1, Sequential: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := Run(b, RunConfig{PEs: 4})
+			par, err := Run(context.Background(), b, RunConfig{PEs: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +88,7 @@ func TestDerivSpeedsUpWithPEs(t *testing.T) {
 	b := Deriv()
 	var prev int64
 	for i, pes := range []int{1, 4} {
-		res, err := Run(b, RunConfig{PEs: pes})
+		res, err := Run(context.Background(), b, RunConfig{PEs: pes})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestGeneratorsDeterministic(t *testing.T) {
 }
 
 func ExampleRun() {
-	res, err := Run(Tak(), RunConfig{PEs: 2})
+	res, err := Run(context.Background(), Tak(), RunConfig{PEs: 2})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestByNameCoversAllRunnable enumerates every benchmark name the CLIs
 // (cmd/rapwam -bench, cmd/cachesim -bench, cmd/tracegen) accept and
@@ -81,7 +84,7 @@ func TestSizedVariantsRun(t *testing.T) {
 		if !ok {
 			t.Fatalf("ByName(%q) does not resolve", name)
 		}
-		if _, err := Run(b, RunConfig{PEs: 2}); err != nil {
+		if _, err := Run(context.Background(), b, RunConfig{PEs: 2}); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}

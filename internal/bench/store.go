@@ -10,6 +10,7 @@ package bench
 // regenerating.
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -87,9 +88,11 @@ type RunRecord struct {
 // sidecar for (b, pes, sequential), generating them with one engine run
 // if absent. Generation is streaming (the trace never materializes in
 // memory) and single-flighted: concurrent callers for the same cell
-// block until the one generation completes. It returns the cell's key.
-// Calling EnsureStored with no store attached is an error.
-func EnsureStored(b Benchmark, pes int, sequential bool) (tracestore.Key, error) {
+// block until the one generation completes — the generating caller's
+// ctx governs the engine run, so every waiter on a cancelled flight
+// observes the context error. It returns the cell's key. Calling
+// EnsureStored with no store attached is an error.
+func EnsureStored(ctx context.Context, b Benchmark, pes int, sequential bool) (tracestore.Key, error) {
 	s := TraceStore()
 	k := StoreKey(b.Name, pes, sequential)
 	if s == nil {
@@ -103,7 +106,7 @@ func EnsureStored(b Benchmark, pes int, sequential bool) (tracestore.Key, error)
 		}
 		var res *core.Result
 		f.err = s.Put(k, func(sink trace.Sink) error {
-			r, err := Run(b, RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
+			r, err := Run(ctx, b, RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
 			res = r
 			return err
 		})
@@ -112,8 +115,13 @@ func EnsureStored(b Benchmark, pes int, sequential bool) (tracestore.Key, error)
 		}
 	})
 	if f.err != nil {
-		// Leave the flight failed: a missing benchmark or full disk will
+		// A cancelled generation must not poison the flight memo: drop
+		// the entry so the next caller (with a live context) retries.
+		// Real failures stay — a missing benchmark or full disk will
 		// fail again; callers see the original error either way.
+		if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+			cellFlights.CompareAndDelete(k, v)
+		}
 		return k, f.err
 	}
 	return k, nil

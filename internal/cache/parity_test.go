@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -29,7 +30,7 @@ func parityTrace(t *testing.T, name string, pes int, sequential bool) *trace.Buf
 	if !ok {
 		t.Fatalf("unknown benchmark %q", name)
 	}
-	buf, _, err := bench.Trace(b, pes, sequential)
+	buf, _, err := bench.Trace(context.Background(), b, pes, sequential)
 	if err != nil {
 		t.Fatalf("tracing %s: %v", name, err)
 	}

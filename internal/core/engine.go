@@ -29,6 +29,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/isa"
@@ -48,6 +49,12 @@ type Config struct {
 	Sink trace.Sink
 	// MaxCycles aborts runaway executions (0 = default 2e9).
 	MaxCycles int64
+	// Cancel, when non-nil, aborts the run once the channel is closed
+	// (pass ctx.Done()): Run returns context.Canceled within
+	// cancelMask+1 cycles. A nil channel costs one predictable branch
+	// per cycle; the trace emitted before the abort is a prefix of the
+	// uncancelled trace.
+	Cancel <-chan struct{}
 	// StealInterval is the number of idle cycles between steal probes
 	// (default 4).
 	StealInterval int
@@ -280,15 +287,34 @@ func (e *Engine) errRunaway() error {
 	return fmt.Errorf("core: exceeded %d cycles (livelock or runaway program)", e.cfg.MaxCycles)
 }
 
+// cancelMask throttles cancellation polls: the Cancel channel is
+// checked once every cancelMask+1 cycles, so the per-cycle cost in the
+// straight-line dispatch loops is one predictable nil-check branch.
+const cancelMask = 1<<12 - 1
+
+// canceled polls the Cancel channel without blocking.
+func canceled(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // runReference is the one-instruction-per-tick round-robin scheduler:
 // on every cycle each worker advances one step in PE order. It is the
 // semantic definition of the machine's interleaving; the quantum
 // dispatchers below are optimizations proven trace- and
 // stats-identical to it (TestDispatcherParity, TestGoldenTraceParity).
 func (e *Engine) runReference() error {
+	stop := e.cfg.Cancel
 	for !e.halted {
 		if e.cycle >= e.cfg.MaxCycles {
 			return e.errRunaway()
+		}
+		if stop != nil && e.cycle&cancelMask == 0 && canceled(stop) {
+			return context.Canceled
 		}
 		e.cycle++
 		for _, w := range e.workers {
@@ -311,6 +337,7 @@ func (e *Engine) runReference() error {
 func (e *Engine) runSingle() (err error) {
 	w := e.workers[0]
 	maxC := e.cfg.MaxCycles
+	stop := e.cfg.Cancel
 	cyc, runCyc := e.cycle, w.runCycles
 	defer func() {
 		e.cycle = cyc
@@ -319,6 +346,9 @@ func (e *Engine) runSingle() (err error) {
 	for !e.halted {
 		if cyc >= maxC {
 			return e.errRunaway()
+		}
+		if stop != nil && cyc&cancelMask == 0 && canceled(stop) {
+			return context.Canceled
 		}
 		if w.state == StateRun {
 			cyc++
@@ -348,9 +378,13 @@ func (e *Engine) runSingle() (err error) {
 // scheduler would have.
 func (e *Engine) runMulti() error {
 	maxC := e.cfg.MaxCycles
+	stop := e.cfg.Cancel
 	for !e.halted {
 		if e.cycle >= maxC {
 			return e.errRunaway()
+		}
+		if stop != nil && e.cycle&cancelMask == 0 && canceled(stop) {
+			return context.Canceled
 		}
 		e.cycle++
 		for _, w := range e.workers {
@@ -449,12 +483,17 @@ func (e *Engine) runQuantum(r *worker) (err error) {
 		e.cycle = cyc
 		r.runCycles = runCyc
 	}()
+	stop := e.cfg.Cancel
 	for {
 		if cyc >= maxC {
 			// Settle the cycles run so far before aborting, so stats
 			// are exact even on the error path.
 			e.settleQuantum(r, start, cyc, false)
 			return e.errRunaway()
+		}
+		if stop != nil && cyc&cancelMask == 0 && canceled(stop) {
+			e.settleQuantum(r, start, cyc, false)
+			return context.Canceled
 		}
 		cyc++
 		runCyc++

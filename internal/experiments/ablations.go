@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -31,8 +32,8 @@ type GranularitySweep struct {
 
 // RunGranularitySweep measures deriv at the given depths, serving
 // per-cell statistics from the grid's memo layer.
-func RunGranularitySweep(depths []int) (*GranularitySweep, error) {
-	base, _, err := runStats(bench.DerivDepth(0), 1, true)
+func RunGranularitySweep(ctx context.Context, depths []int) (*GranularitySweep, error) {
+	base, _, err := runStats(ctx, bench.DerivDepth(0), 1, true)
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +41,7 @@ func RunGranularitySweep(depths []int) (*GranularitySweep, error) {
 	baseCycles := float64(base.Cycles)
 	out := &GranularitySweep{}
 	for _, d := range depths {
-		st, _, err := runStats(bench.DerivDepth(d), 8, false)
+		st, _, err := runStats(ctx, bench.DerivDepth(d), 8, false)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +79,7 @@ type LineSizeSweep struct {
 // RunLineSizeSweep replays one benchmark trace across line sizes; all
 // line sizes are simulated concurrently in a single pass over the
 // memoized trace.
-func RunLineSizeSweep(benchName string, pes, sizeWords int, lines []int) (*LineSizeSweep, error) {
+func RunLineSizeSweep(ctx context.Context, benchName string, pes, sizeWords int, lines []int) (*LineSizeSweep, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
@@ -91,7 +92,7 @@ func RunLineSizeSweep(benchName string, pes, sizeWords int, lines []int) (*LineS
 			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, sizeWords),
 		}
 	}
-	sts, err := simulateAll(b, pes, pes == 1, cfgs)
+	sts, err := simulateAll(ctx, b, pes, pes == 1, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -128,12 +129,12 @@ type LockShare struct {
 
 // RunLockShare measures one benchmark; the Table 1 reference counter
 // comes from the grid's memo layer (the run sidecar, with a store).
-func RunLockShare(benchName string, pes int) (*LockShare, error) {
+func RunLockShare(ctx context.Context, benchName string, pes int) (*LockShare, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
 	}
-	_, refs, err := runStats(b, pes, false)
+	_, refs, err := runStats(ctx, b, pes, false)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +177,7 @@ type BusDES struct {
 
 // RunBusDES replays one benchmark's bus transactions through the DES
 // bus and the analytic model.
-func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) (*BusDES, error) {
+func RunBusDES(ctx context.Context, benchName string, pes, cacheWords int, busWordsPerCycle float64) (*BusDES, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
@@ -197,7 +198,7 @@ func RunBusDES(benchName string, pes, cacheWords int, busWordsPerCycle float64) 
 			PE: pe, Time: float64(refIndex) / float64(pes), Words: words,
 		})
 	}
-	if err := replayCell(b, pes, pes == 1, sim); err != nil {
+	if err := replayCell(ctx, b, pes, pes == 1, sim); err != nil {
 		return nil, err
 	}
 
@@ -243,7 +244,7 @@ type AssocSweep struct {
 // RunAssocSweep replays one benchmark trace across associativities; all
 // ways are simulated concurrently in a single pass over the memoized
 // trace.
-func RunAssocSweep(benchName string, pes, sizeWords int, ways []int) (*AssocSweep, error) {
+func RunAssocSweep(ctx context.Context, benchName string, pes, sizeWords int, ways []int) (*AssocSweep, error) {
 	b, ok := bench.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
@@ -257,7 +258,7 @@ func RunAssocSweep(benchName string, pes, sizeWords int, ways []int) (*AssocSwee
 			Assoc:         w,
 		}
 	}
-	sts, err := simulateAll(b, pes, pes == 1, cfgs)
+	sts, err := simulateAll(ctx, b, pes, pes == 1, cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestGranularitySweepTradeoff(t *testing.T) {
-	g, err := RunGranularitySweep([]int{0, 1, 2, 4})
+	g, err := RunGranularitySweep(context.Background(), []int{0, 1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestGranularitySweepTradeoff(t *testing.T) {
 }
 
 func TestLineSizeSweep(t *testing.T) {
-	l, err := RunLineSizeSweep("qsort", 4, 1024, []int{1, 2, 4, 8, 16})
+	l, err := RunLineSizeSweep(context.Background(), "qsort", 4, 1024, []int{1, 2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestLineSizeSweep(t *testing.T) {
 }
 
 func TestLockShareIsSmall(t *testing.T) {
-	l, err := RunLockShare("qsort", 8)
+	l, err := RunLockShare(context.Background(), "qsort", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestLockShareIsSmall(t *testing.T) {
 }
 
 func TestBusDESMatchesAnalyticTrend(t *testing.T) {
-	b, err := RunBusDES("qsort", 4, 512, 4)
+	b, err := RunBusDES(context.Background(), "qsort", 4, 512, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestBusDESMatchesAnalyticTrend(t *testing.T) {
 }
 
 func TestAssocSweepConvergesToFull(t *testing.T) {
-	a, err := RunAssocSweep("qsort", 4, 1024, []int{1, 2, 4, 8, 0})
+	a, err := RunAssocSweep(context.Background(), "qsort", 4, 1024, []int{1, 2, 4, 8, 0})
 	if err != nil {
 		t.Fatal(err)
 	}

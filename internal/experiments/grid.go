@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -80,15 +82,20 @@ func progress(format string, args ...any) {
 
 // runGrid executes fn(0..n-1) on the bounded worker pool and returns
 // the first error. After an error, cells not yet started are skipped;
-// cells already in flight complete. Cells must write only to their own
-// result slots.
-func runGrid(n int, fn func(i int) error) error {
+// cells already in flight complete (engine runs inside them observe
+// ctx themselves and abort mid-run). Cancelling ctx stops the pool at
+// the next cell boundary and returns ctx.Err(). Cells must write only
+// to their own result slots.
+func runGrid(ctx context.Context, n int, fn func(i int) error) error {
 	workers := Parallelism()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -105,6 +112,10 @@ func runGrid(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for firstErr.Load() == nil {
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -143,17 +154,23 @@ var traces sync.Map // traceKey -> *traceEntry
 
 // cachedTrace returns the memoized trace for (b, pes, sequential),
 // running the engine on first use. Concurrent callers for the same key
-// block until the single engine run completes.
-func cachedTrace(b bench.Benchmark, pes int, sequential bool) (*trace.Buffer, error) {
+// block until the single engine run completes (the generating caller's
+// ctx governs that run). A cancelled generation is evicted from the
+// memo rather than cached, so a later sweep with a live context
+// regenerates the cell instead of replaying the stale context error.
+func cachedTrace(ctx context.Context, b bench.Benchmark, pes int, sequential bool) (*trace.Buffer, error) {
 	key := traceKey{b.Name, pes, sequential}
 	v, _ := traces.LoadOrStore(key, &traceEntry{})
 	e := v.(*traceEntry)
 	e.once.Do(func() {
-		e.buf, _, e.err = bench.Trace(b, pes, sequential)
+		e.buf, _, e.err = bench.Trace(ctx, b, pes, sequential)
 		if e.err == nil {
 			progress("traced %s @ %d PEs (%d refs)", b.Name, pes, e.buf.Len())
 		}
 	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		traces.CompareAndDelete(key, v)
+	}
 	return e.buf, e.err
 }
 
@@ -186,9 +203,9 @@ func ResetEngineRuns() { bench.ResetEngineRuns() }
 // disk (the trace is never materialized); otherwise it replays the
 // RAM-memoized buffer. Either way every sink sees the exact emission
 // order, so results are bit-identical across sources.
-func replayCell(b bench.Benchmark, pes int, sequential bool, sinks ...trace.Sink) error {
+func replayCell(ctx context.Context, b bench.Benchmark, pes int, sequential bool, sinks ...trace.Sink) error {
 	if s := activeStore(); s != nil {
-		k, err := bench.EnsureStored(b, pes, sequential)
+		k, err := bench.EnsureStored(ctx, b, pes, sequential)
 		if err != nil {
 			return err
 		}
@@ -201,7 +218,7 @@ func replayCell(b bench.Benchmark, pes int, sequential bool, sinks ...trace.Sink
 		f.Close()
 		return err
 	}
-	buf, err := cachedTrace(b, pes, sequential)
+	buf, err := cachedTrace(ctx, b, pes, sequential)
 	if err != nil {
 		return err
 	}
@@ -213,12 +230,12 @@ func replayCell(b bench.Benchmark, pes int, sequential bool, sinks ...trace.Sink
 // for one cell. With a store attached it is served from the cell's run
 // sidecar (generating the cell on first need); otherwise it runs the
 // emulator.
-func runStats(b bench.Benchmark, pes int, sequential bool) (core.Stats, *trace.Counter, error) {
+func runStats(ctx context.Context, b bench.Benchmark, pes int, sequential bool) (core.Stats, *trace.Counter, error) {
 	s := activeStore()
 	var k tracestore.Key
 	if s != nil {
 		var err error
-		if k, err = bench.EnsureStored(b, pes, sequential); err != nil {
+		if k, err = bench.EnsureStored(ctx, b, pes, sequential); err != nil {
 			return core.Stats{}, nil, err
 		}
 		var rec bench.RunRecord
@@ -232,7 +249,7 @@ func runStats(b bench.Benchmark, pes int, sequential bool) (core.Stats, *trace.C
 		// Trace present but sidecar absent (foreign or interrupted
 		// store write): fall through to a direct run.
 	}
-	res, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential})
+	res, err := bench.Run(ctx, b, bench.RunConfig{PEs: pes, Sequential: sequential})
 	if err != nil {
 		return core.Stats{}, nil, err
 	}
@@ -260,14 +277,16 @@ type TraceTarget struct {
 // cell, generating missing ones concurrently on the grid's bounded
 // worker pool (SetParallelism) — each generation streaming straight
 // into the store's compact codec. Duplicate targets and targets
-// already present cost nothing. It requires an attached store.
-func GenerateTraces(targets []TraceTarget) error {
+// already present cost nothing. Cancelling ctx aborts in-flight engine
+// runs (partial writes are cleaned up; completed cells stay). It
+// requires an attached store.
+func GenerateTraces(ctx context.Context, targets []TraceTarget) error {
 	if activeStore() == nil {
 		return fmt.Errorf("experiments: GenerateTraces needs an attached trace store (SetStore)")
 	}
-	return runGrid(len(targets), func(i int) error {
+	return runGrid(ctx, len(targets), func(i int) error {
 		t := targets[i]
-		k, err := bench.EnsureStored(t.Benchmark, t.PEs, t.Sequential)
+		k, err := bench.EnsureStored(ctx, t.Benchmark, t.PEs, t.Sequential)
 		if err != nil {
 			return fmt.Errorf("generating %v: %w", k, err)
 		}
@@ -279,16 +298,16 @@ func GenerateTraces(targets []TraceTarget) error {
 // simulateAll replays one memoized trace through all configurations in
 // a single fan-out pass and returns per-configuration statistics. With
 // a store attached the pass streams from disk.
-func simulateAll(b bench.Benchmark, pes int, sequential bool, cfgs []cache.Config) ([]cache.Stats, error) {
+func simulateAll(ctx context.Context, b bench.Benchmark, pes int, sequential bool, cfgs []cache.Config) ([]cache.Stats, error) {
 	if activeStore() == nil {
-		buf, err := cachedTrace(b, pes, sequential)
+		buf, err := cachedTrace(ctx, b, pes, sequential)
 		if err != nil {
 			return nil, err
 		}
 		return cache.SimulateAll(buf, cfgs)
 	}
 	return cache.SimulateAllStream(cfgs, func(sinks []trace.Sink) error {
-		return replayCell(b, pes, sequential, sinks...)
+		return replayCell(ctx, b, pes, sequential, sinks...)
 	})
 }
 
@@ -296,15 +315,15 @@ func simulateAll(b bench.Benchmark, pes int, sequential bool, cfgs []cache.Confi
 // ratio at the given PE count and cache size — the quantity both the
 // MLIPS calculation and the bus study average — as one grid cell per
 // benchmark over memoized traces.
-func protocolRatios(benches []bench.Benchmark, pes, cacheWords int, tag string) ([]float64, error) {
+func protocolRatios(ctx context.Context, benches []bench.Benchmark, pes, cacheWords int, tag string) ([]float64, error) {
 	cfg := cache.Config{
 		PEs: pes, SizeWords: cacheWords, LineWords: 4,
 		Protocol:      cache.WriteInBroadcast,
 		WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, cacheWords),
 	}
 	ratios := make([]float64, len(benches))
-	err := runGrid(len(benches), func(i int) error {
-		st, err := simulateAll(benches[i], pes, pes == 1, []cache.Config{cfg})
+	err := runGrid(ctx, len(benches), func(i int) error {
+		st, err := simulateAll(ctx, benches[i], pes, pes == 1, []cache.Config{cfg})
 		if err != nil {
 			return err
 		}

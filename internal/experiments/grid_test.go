@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -30,7 +31,7 @@ func TestFanOutReplayBitIdenticalToSequential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		b, _ := benchByName(t, tc.bench)
-		buf, err := cachedTrace(b, tc.pes, tc.pes == 1)
+		buf, err := cachedTrace(context.Background(), b, tc.pes, tc.pes == 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func TestRunGridRunsAllCellsBounded(t *testing.T) {
 	SetParallelism(3)
 	defer SetParallelism(0)
 	var inFlight, peak, done atomic.Int64
-	err := runGrid(50, func(i int) error {
+	err := runGrid(context.Background(), 50, func(i int) error {
 		n := inFlight.Add(1)
 		defer inFlight.Add(-1)
 		for {
@@ -90,7 +91,7 @@ func TestRunGridRunsAllCellsBounded(t *testing.T) {
 func TestRunGridPropagatesError(t *testing.T) {
 	want := errors.New("cell failed")
 	var ran atomic.Int64
-	err := runGrid(10, func(i int) error {
+	err := runGrid(context.Background(), 10, func(i int) error {
 		ran.Add(1)
 		if i == 4 {
 			return want
@@ -109,18 +110,18 @@ func TestRunGridPropagatesError(t *testing.T) {
 
 func TestCachedTraceMemoizes(t *testing.T) {
 	b, _ := benchByName(t, "deriv")
-	first, err := cachedTrace(b, 1, true)
+	first, err := cachedTrace(context.Background(), b, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	again, err := cachedTrace(b, 1, true)
+	again, err := cachedTrace(context.Background(), b, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first != again {
 		t.Error("same (benchmark, PEs, sequential) key re-traced")
 	}
-	other, err := cachedTrace(b, 2, false)
+	other, err := cachedTrace(context.Background(), b, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestCachedTraceMemoizes(t *testing.T) {
 		t.Error("distinct keys shared a trace")
 	}
 	ResetTraceCache()
-	fresh, err := cachedTrace(b, 1, true)
+	fresh, err := cachedTrace(context.Background(), b, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,12 +148,12 @@ func TestGridParallelismInvariance(t *testing.T) {
 	sizes := []int{128, 512}
 	SetParallelism(1)
 	defer SetParallelism(0)
-	seq, err := RunFigure4([]int{1, 2}, sizes)
+	seq, err := RunFigure4(context.Background(), []int{1, 2}, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	SetParallelism(8)
-	par, err := RunFigure4([]int{1, 2}, sizes)
+	par, err := RunFigure4(context.Background(), []int{1, 2}, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestGridParallelismInvariance(t *testing.T) {
 
 func TestSimulateAllRejectsBadConfig(t *testing.T) {
 	b, _ := benchByName(t, "deriv")
-	_, err := simulateAll(b, 1, true, []cache.Config{
+	_, err := simulateAll(context.Background(), b, 1, true, []cache.Config{
 		{PEs: 0, SizeWords: 128, LineWords: 4},
 	})
 	if err == nil {
@@ -181,7 +182,7 @@ func TestSimulateAllRejectsBadConfig(t *testing.T) {
 
 func BenchmarkGridFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := RunFigure4([]int{1, 4}, []int{64, 256, 1024}); err != nil {
+		if _, err := RunFigure4(context.Background(), []int{1, 4}, []int{64, 256, 1024}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"strings"
@@ -65,7 +66,7 @@ func TestStoreStreamedReplayParity(t *testing.T) {
 		cfgs := testConfigs(cell.pes)
 
 		// In-memory reference: buffer the trace, replay per config.
-		buf, _, err := bench.Trace(b, cell.pes, cell.seq)
+		buf, _, err := bench.Trace(context.Background(), b, cell.pes, cell.seq)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func TestStoreStreamedReplayParity(t *testing.T) {
 			gotSims[i] = cache.New(cfg)
 			sinks[i] = gotSims[i]
 		}
-		if err := replayCell(b, cell.pes, cell.seq, sinks...); err != nil {
+		if err := replayCell(context.Background(), b, cell.pes, cell.seq, sinks...); err != nil {
 			t.Fatal(err)
 		}
 
@@ -133,22 +134,22 @@ func TestWarmStoreRunsNoEmulation(t *testing.T) {
 	runAll := func() (results, error) {
 		var r results
 		var err error
-		if r.fig2, err = RunFigure2([]int{1, 2}); err != nil {
+		if r.fig2, err = RunFigure2(context.Background(), []int{1, 2}); err != nil {
 			return r, err
 		}
-		if r.t2, err = RunTable2(2); err != nil {
+		if r.t2, err = RunTable2(context.Background(), 2); err != nil {
 			return r, err
 		}
-		if r.fig4, err = RunFigure4([]int{2}, []int{128, 1024}); err != nil {
+		if r.fig4, err = RunFigure4(context.Background(), []int{2}, []int{128, 1024}); err != nil {
 			return r, err
 		}
-		if r.line, err = RunLineSizeSweep("qsort", 2, 512, []int{2, 8}); err != nil {
+		if r.line, err = RunLineSizeSweep(context.Background(), "qsort", 2, 512, []int{2, 8}); err != nil {
 			return r, err
 		}
-		if r.lock, err = RunLockShare("qsort", 2); err != nil {
+		if r.lock, err = RunLockShare(context.Background(), "qsort", 2); err != nil {
 			return r, err
 		}
-		r.des, err = RunBusDES("qsort", 2, 256, 4)
+		r.des, err = RunBusDES(context.Background(), "qsort", 2, 256, 4)
 		return r, err
 	}
 
@@ -178,15 +179,15 @@ func TestWarmStoreRunsNoEmulation(t *testing.T) {
 // invisible in the numbers.
 func TestStoreVsMemoryDriverParity(t *testing.T) {
 	run := func() (*Figure4, *Table2, *LockShare) {
-		f4, err := RunFigure4([]int{2}, []int{256})
+		f4, err := RunFigure4(context.Background(), []int{2}, []int{256})
 		if err != nil {
 			t.Fatal(err)
 		}
-		t2, err := RunTable2(2)
+		t2, err := RunTable2(context.Background(), 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ls, err := RunLockShare("matrix", 2)
+		ls, err := RunLockShare(context.Background(), "matrix", 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func TestStoreVsMemoryDriverParity(t *testing.T) {
 func TestRunStatsRepairsMissingSidecar(t *testing.T) {
 	s := withStore(t)
 	b, _ := bench.ByName("matrix")
-	if _, err := bench.EnsureStored(b, 2, false); err != nil {
+	if _, err := bench.EnsureStored(context.Background(), b, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	k := bench.StoreKey("matrix", 2, false)
@@ -228,14 +229,14 @@ func TestRunStatsRepairsMissingSidecar(t *testing.T) {
 	}
 
 	ResetEngineRuns()
-	if _, _, err := runStats(b, 2, false); err != nil {
+	if _, _, err := runStats(context.Background(), b, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	if n := EngineRuns(); n != 1 {
 		t.Fatalf("fallback performed %d engine runs, want 1", n)
 	}
 	ResetEngineRuns()
-	if _, _, err := runStats(b, 2, false); err != nil {
+	if _, _, err := runStats(context.Background(), b, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	if n := EngineRuns(); n != 0 {
@@ -255,10 +256,10 @@ func TestParallelGenerationSingleFlight(t *testing.T) {
 	pesList := []int{1, 2}
 	var total int
 	for range []int{0, 1} { // two sweeps over the same cells
-		err := runGrid(len(benches)*len(pesList), func(i int) error {
+		err := runGrid(context.Background(), len(benches)*len(pesList), func(i int) error {
 			b, _ := bench.ByName(benches[i%len(benches)])
 			pes := pesList[i/len(benches)]
-			_, err := simulateAll(b, pes, pes == 1, testConfigs(pes)[:3])
+			_, err := simulateAll(context.Background(), b, pes, pes == 1, testConfigs(pes)[:3])
 			return err
 		})
 		if err != nil {

@@ -1,0 +1,291 @@
+// Package service is the experiment results service: a long-running
+// HTTP/JSON daemon (cmd/rapwamd) that exposes every table and figure
+// of the paper over the experiments grid runner and the persistent
+// trace store, memoizing each computed cell in a content-addressed
+// on-disk result cache.
+//
+// The serving pipeline per request is
+//
+//	request → result cache (memory, then disk) → single-flight
+//	        → experiments grid → trace store → emulator
+//
+// so any experiment cell is computed at most once per (parameters,
+// emulator version, codec version): N concurrent identical requests
+// trigger exactly one grid run, and every later request — including
+// requests to a restarted daemon over the same cache directory — is a
+// disk or memory hit with a byte-identical body and zero emulator
+// runs. Cancellation flows the other way: the server's base context
+// and each request's context reach the grid (and the engine's
+// instruction loop) end to end, so shutdown and client disconnects
+// abort in-flight computations instead of stranding them.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// CacheVersion is the result-envelope format version; it participates
+// in every cache key, so an envelope change invalidates old entries
+// instead of serving them in the stale shape.
+const CacheVersion = 1
+
+// CacheKey identifies one cached experiment result: the experiment
+// name plus its canonical parameter encoding. The emulator version,
+// trace codec version and CacheVersion are folded into the content
+// address, so results computed by a different engine build are
+// distinct entries, exactly like trace-store cells.
+type CacheKey struct {
+	// Experiment is the registry name ("fig4", "table3", ...).
+	Experiment string
+	// Params is the canonical parameter encoding ("pes=1,2,4,8&sizes=64,...").
+	Params string
+}
+
+// hash returns the key's content address (shared scheme with the
+// trace store: tracestore.ContentHash).
+func (k CacheKey) hash() string {
+	return tracestore.ContentHash(k.Experiment, k.Params, core.EmulatorVersion,
+		fmt.Sprintf("codec%d", trace.CodecVersion), fmt.Sprintf("rc%d", CacheVersion))
+}
+
+// CacheStats are the result cache's counters since open (or the last
+// ResetStats).
+type CacheStats struct {
+	// MemHits / DiskHits split hits by which layer served them.
+	MemHits, DiskHits int64
+	// Misses counts Get calls that found no valid entry.
+	Misses int64
+	// Puts counts completed writes.
+	Puts int64
+}
+
+// maxMemEntries bounds the in-memory layer. Result bodies are small
+// (KBs) and the working set of distinct (experiment, params) cells is
+// tiny, so a simple count cap suffices; on overflow an arbitrary
+// entry is evicted (the disk layer still holds it).
+const maxMemEntries = 128
+
+// ResultCache is a content-addressed store of rendered experiment
+// results rooted at one directory, with a small in-memory layer in
+// front. Writes are atomic (temp file + rename in the same
+// directory), so concurrent writers — including separate daemons
+// sharing the directory — race benignly and readers only observe
+// complete files.
+type ResultCache struct {
+	dir      string
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+	misses   atomic.Int64
+	puts     atomic.Int64
+
+	mu  sync.RWMutex
+	mem map[string][]byte
+}
+
+// OpenResultCache creates (if needed) and opens a result cache
+// directory, sweeping stale *.tmp droppings left by a killed writer
+// (same hygiene as tracestore.Open).
+func OpenResultCache(dir string) (*ResultCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: empty result cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	tracestore.SweepStaleTemps(dir, tracestore.StaleTempAge)
+	return &ResultCache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *ResultCache) Dir() string { return c.dir }
+
+// Path returns the file a key's result is (or would be) stored at.
+func (c *ResultCache) Path(k CacheKey) string {
+	return filepath.Join(c.dir, sanitizeName(k.Experiment)+"-"+k.hash()+".json")
+}
+
+// sanitizeName keeps file names portable (experiment names are already
+// clean identifiers; this is belt and braces, mirroring the trace
+// store).
+func sanitizeName(s string) string {
+	out := []byte(s)
+	for i, r := range out {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Stats returns the hit/miss/put counters.
+func (c *ResultCache) Stats() CacheStats {
+	return CacheStats{
+		MemHits:  c.memHits.Load(),
+		DiskHits: c.diskHits.Load(),
+		Misses:   c.misses.Load(),
+		Puts:     c.puts.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (c *ResultCache) ResetStats() {
+	c.memHits.Store(0)
+	c.diskHits.Store(0)
+	c.misses.Store(0)
+	c.puts.Store(0)
+}
+
+// Envelope is the stored (and served) result shape: the JSON response
+// body is exactly these bytes, so a cached result is byte-identical
+// across requests and daemon restarts.
+type Envelope struct {
+	// Experiment is the registry name the result was computed for.
+	Experiment string `json:"experiment"`
+	// Params are the canonical parameters of the computation.
+	Params map[string]string `json:"params"`
+	// EmulatorVersion / CodecVersion / CacheVersion pin the producing
+	// stack; Get re-verifies them against the running build.
+	EmulatorVersion string `json:"emulator_version"`
+	CodecVersion    int    `json:"codec_version"`
+	CacheVersion    int    `json:"cache_version"`
+	// Result is the experiment's structured result.
+	Result json.RawMessage `json:"result"`
+}
+
+// verifyEnvelope checks a decoded envelope against the key it was
+// looked up under — experiment, canonical parameters and all three
+// versions — so a hand-copied or corrupt cache file cannot silently
+// stand in for a different cell (mirrors the trace store's
+// header-vs-key verification). Canonical parameter order is sorted by
+// name (every registry entry builds its params sorted), so the
+// envelope's map round-trips to the key's canonical string.
+func verifyEnvelope(k CacheKey, body []byte) bool {
+	var env Envelope
+	if json.Unmarshal(body, &env) != nil {
+		return false
+	}
+	names := make([]string, 0, len(env.Params))
+	for name := range env.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = name + "=" + env.Params[name]
+	}
+	return env.Experiment == k.Experiment &&
+		strings.Join(parts, "&") == k.Params &&
+		env.EmulatorVersion == core.EmulatorVersion &&
+		env.CodecVersion == trace.CodecVersion &&
+		env.CacheVersion == CacheVersion
+}
+
+// Get returns the cached body for k and which layer served it
+// ("memory" or "disk"), recording the lookup in the hit/miss
+// counters. Unreadable or key-mismatched files count as misses — the
+// caller recomputes and overwrites.
+func (c *ResultCache) Get(k CacheKey) (body []byte, source string, ok bool) {
+	return c.lookup(k, true)
+}
+
+// peek is Get without touching the counters — for double-checked
+// lookups whose request already recorded its miss.
+func (c *ResultCache) peek(k CacheKey) (body []byte, source string, ok bool) {
+	return c.lookup(k, false)
+}
+
+func (c *ResultCache) lookup(k CacheKey, record bool) (body []byte, source string, ok bool) {
+	h := k.hash()
+	c.mu.RLock()
+	body, ok = c.mem[h]
+	c.mu.RUnlock()
+	if ok {
+		if record {
+			c.memHits.Add(1)
+		}
+		return body, "memory", true
+	}
+	body, err := os.ReadFile(c.Path(k))
+	if err != nil || !verifyEnvelope(k, body) {
+		if record {
+			c.misses.Add(1)
+		}
+		return nil, "", false
+	}
+	if record {
+		c.diskHits.Add(1)
+	}
+	c.remember(h, body)
+	return body, "disk", true
+}
+
+// Put stores body as the result for k: temp file plus atomic rename,
+// then the in-memory layer. Any error leaves the cache unchanged.
+func (c *ResultCache) Put(k CacheKey, body []byte) (retErr error) {
+	tmp, err := os.CreateTemp(c.dir, "put-*.json.tmp")
+	if err != nil {
+		return fmt.Errorf("service: result cache: %w", err)
+	}
+	committed := false
+	defer func() {
+		// Clean up on error and on panic alike — no droppings.
+		if !committed {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(body); err != nil {
+		return fmt.Errorf("service: result cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: result cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.Path(k)); err != nil {
+		return fmt.Errorf("service: result cache: %w", err)
+	}
+	committed = true
+	c.puts.Add(1)
+	c.remember(k.hash(), body)
+	return nil
+}
+
+// remember inserts into the bounded in-memory layer.
+func (c *ResultCache) remember(hash string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.mem) >= maxMemEntries {
+		for k := range c.mem {
+			delete(c.mem, k)
+			break
+		}
+	}
+	c.mem[hash] = body
+}
+
+// Len returns the number of complete entries on disk.
+func (c *ResultCache) Len() (int, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, fmt.Errorf("service: result cache: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.Type().IsRegular() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent computations of the same result
+// cache key: N simultaneous cold requests for one cell perform exactly
+// one grid run, everyone shares the body.
+//
+// Cancellation semantics are reference-counted: the computation runs
+// on its own goroutine under a context detached from any single
+// request, and that context is cancelled only when every caller
+// waiting on the flight has gone away (each waiter's own ctx.Done
+// decrements the count). One impatient client disconnecting therefore
+// cannot abort a computation other clients still want — but when the
+// last waiter leaves (or the server's base context cancels every
+// request at shutdown), the in-flight grid work is cancelled promptly
+// rather than stranded.
+//
+// Flights are removed from the group on completion, success or
+// failure: a successful body lives on in the result cache, and errors
+// are deliberately never memoized — the next request retries.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	waiters int
+	cancel  context.CancelFunc
+	done    chan struct{}
+	body    []byte
+	src     string
+	err     error
+}
+
+// do returns fn's result for key, joining an in-flight computation if
+// one exists and starting one otherwise (src is fn's report of where
+// the body came from — "computed", or a cache layer when the in-flight
+// double-check hit). If ctx is cancelled while waiting, do returns
+// ctx.Err() immediately; the computation itself keeps running until
+// its last waiter leaves.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]byte, string, error)) (body []byte, src string, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	f, ok := g.flights[key]
+	if !ok {
+		cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		f = &flight{cancel: cancel, done: make(chan struct{})}
+		g.flights[key] = f
+		go func() {
+			f.body, f.src, f.err = fn(cctx)
+			g.mu.Lock()
+			delete(g.flights, key)
+			g.mu.Unlock()
+			close(f.done)
+			cancel()
+		}()
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.body, f.src, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, "", ctx.Err()
+	}
+}

@@ -1,0 +1,464 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// ResultDir roots the content-addressed result cache (required).
+	ResultDir string
+	// TraceDir optionally attaches a persistent trace store, so cold
+	// experiment computations reuse (and warm) stored traces.
+	TraceDir string
+	// Parallelism bounds the experiments grid worker pool (0 keeps the
+	// current setting).
+	Parallelism int
+	// Log, when non-nil, receives one line per notable server event
+	// (startup, compute begin/end, cache write failures).
+	Log func(msg string)
+}
+
+// Server is the experiment results service: an http.Handler serving
+// the /v1 API over the result cache, single-flight group and
+// experiments grid.
+type Server struct {
+	cfg     Config
+	cache   *ResultCache
+	store   *tracestore.Store
+	mux     *http.ServeMux
+	flights flightGroup
+	start   time.Time
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	inflight atomic.Int64
+	computes atomic.Int64
+}
+
+// New builds a Server: opens (creating if needed) the result cache,
+// attaches the trace store when configured, and wires the routes.
+//
+// The experiments grid the server computes on is process-global
+// (experiments.SetStore / SetParallelism), so run ONE server per
+// process: constructing a second server with a different TraceDir
+// rewires the first one's compute path to the new store. Sequential
+// construction over the same directories (the restart pattern, and
+// what the tests do) is fine.
+func New(cfg Config) (*Server, error) {
+	cache, err := OpenResultCache(cfg.ResultDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, cache: cache, start: time.Now()}
+	if cfg.TraceDir != "" {
+		store, err := tracestore.Open(cfg.TraceDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		experiments.SetStore(store)
+	}
+	if cfg.Parallelism != 0 {
+		experiments.SetParallelism(cfg.Parallelism)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{bench}", s.handleTrace)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (request counting
+// included).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// ResultCache exposes the server's result cache (stats, tests).
+func (s *Server) ResultCache() *ResultCache { return s.cache }
+
+// Computes returns how many experiment computations (cache fills) the
+// server has performed — the observable that verifies single-flight
+// deduplication and warm-cache serving.
+func (s *Server) Computes() int64 { return s.computes.Load() }
+
+// logf reports one server event.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON marshals v with a trailing newline.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// fail records and writes one error response.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"emulator_version": core.EmulatorVersion,
+	})
+}
+
+// statsBody is the /v1/stats response shape.
+type statsBody struct {
+	UptimeSeconds   float64           `json:"uptime_seconds"`
+	Requests        int64             `json:"requests"`
+	Errors          int64             `json:"errors"`
+	Inflight        int64             `json:"inflight"`
+	Computes        int64             `json:"computes"`
+	EngineRuns      int64             `json:"engine_runs"`
+	ResultCache     CacheStats        `json:"result_cache"`
+	TraceStore      *tracestore.Stats `json:"trace_store,omitempty"`
+	EmulatorVersion string            `json:"emulator_version"`
+	CodecVersion    int               `json:"codec_version"`
+	Parallelism     int               `json:"parallelism"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body := statsBody{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.requests.Load(),
+		Errors:          s.errors.Load(),
+		Inflight:        s.inflight.Load(),
+		Computes:        s.computes.Load(),
+		EngineRuns:      bench.EngineRuns(),
+		ResultCache:     s.cache.Stats(),
+		EmulatorVersion: core.EmulatorVersion,
+		CodecVersion:    trace.CodecVersion,
+		Parallelism:     experiments.Parallelism(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		body.TraceStore = &st
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": Registry()})
+}
+
+// handleExperiment serves one experiment: parse and canonicalize the
+// parameters, consult the result cache, and on a miss compute through
+// the single-flight group under a context that shutdown and client
+// disconnects cancel.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	exp, ok := Lookup(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown experiment %q (see /v1/experiments)", name)
+		return
+	}
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "csv" && format != "text" {
+		s.fail(w, http.StatusBadRequest, "unknown format %q (json, csv or text)", format)
+		return
+	}
+	ps, run, err := exp.prepare(q)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%s: %v", name, err)
+		return
+	}
+	key := CacheKey{Experiment: name, Params: canonicalParams(ps)}
+
+	body, source, ok := s.cache.Get(key)
+	if !ok {
+		body, source, err = s.compute(r.Context(), key, ps, run)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Shutdown or client disconnect: the connection is
+				// (about to be) gone; 503 tells any proxy the truth.
+				s.fail(w, http.StatusServiceUnavailable, "%s: computation cancelled: %v", name, err)
+				return
+			}
+			s.fail(w, http.StatusInternalServerError, "%s: %v", name, err)
+			return
+		}
+	}
+
+	w.Header().Set("X-Result-Source", source)
+	w.Header().Set("X-Emulator-Version", core.EmulatorVersion)
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case "csv", "text":
+		v, err := decodeResult(exp, body)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "%s: decoding cached result: %v", name, err)
+			return
+		}
+		if format == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			if err := renderCSV(exp, v, w); err != nil {
+				s.fail(w, http.StatusInternalServerError, "%s: rendering csv: %v", name, err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, exp.text(v))
+	}
+}
+
+// compute fills the cache for key through the single-flight group:
+// concurrent identical requests share one grid run; the computation's
+// context is cancelled only when every waiter has disconnected (or the
+// server is shutting down, which cancels every request). A context
+// error with the requester's own context still live means this flight
+// was collateral damage of someone ELSE's cancellation — joining a
+// flight in the window after its last previous waiter disconnected,
+// or sharing a trace-store cell with a cancelled experiment's grid run
+// — so the request retries: it hits the cache, starts a fresh flight
+// (cancelled cells are evicted from every memo layer), or in the worst
+// case joins another doomed flight and loops again.
+func (s *Server) compute(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) ([]byte, string, error) {
+	for {
+		body, src, err := s.computeOnce(ctx, key, ps, run)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return body, src, err
+	}
+}
+
+func (s *Server) computeOnce(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) ([]byte, string, error) {
+	return s.flights.do(ctx, key.hash(), func(cctx context.Context) ([]byte, string, error) {
+		// Double check under the flight: a racing request may have
+		// completed (and cached) this cell between our miss and this
+		// flight starting. peek keeps the hit/miss counters honest —
+		// the handler already recorded this request's miss.
+		if body, src, ok := s.cache.peek(key); ok {
+			return body, src, nil
+		}
+		s.computes.Add(1)
+		s.logf("computing %s?%s", key.Experiment, key.Params)
+		t0 := time.Now()
+		v, err := run(cctx)
+		if err != nil {
+			s.logf("compute %s?%s failed after %v: %v", key.Experiment, key.Params, time.Since(t0), err)
+			return nil, "", err
+		}
+		body, err := marshalEnvelope(key.Experiment, ps, v)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := s.cache.Put(key, body); err != nil {
+			// Serve the result anyway: a full disk degrades the cache,
+			// not the response.
+			s.logf("result cache write for %s failed: %v", key.Experiment, err)
+		}
+		s.logf("computed %s?%s in %v (%d bytes)", key.Experiment, key.Params, time.Since(t0), len(body))
+		return body, "computed", nil
+	})
+}
+
+// marshalEnvelope renders the canonical stored/served JSON body.
+func marshalEnvelope(experiment string, ps []param, result any) ([]byte, error) {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshaling %s result: %w", experiment, err)
+	}
+	body, err := json.Marshal(Envelope{
+		Experiment:      experiment,
+		Params:          paramMap(ps),
+		EmulatorVersion: core.EmulatorVersion,
+		CodecVersion:    trace.CodecVersion,
+		CacheVersion:    CacheVersion,
+		Result:          raw,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: marshaling %s envelope: %w", experiment, err)
+	}
+	return append(body, '\n'), nil
+}
+
+// decodeResult unmarshals a cached envelope back into the entry's
+// typed result.
+func decodeResult(e *Experiment, body []byte) (any, error) {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, err
+	}
+	v := e.fresh()
+	if err := json.Unmarshal(env.Result, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// traceEntryBody is one /v1/traces list element.
+type traceEntryBody struct {
+	Key             string  `json:"key"`
+	Benchmark       string  `json:"benchmark"`
+	PEs             int     `json:"pes"`
+	Mode            string  `json:"mode"`
+	EmulatorVersion string  `json:"emulator_version"`
+	Refs            int64   `json:"refs"`
+	Bytes           int64   `json:"bytes"`
+	BytesPerRef     float64 `json:"bytes_per_ref"`
+}
+
+func traceBody(meta trace.Meta, size int64) traceEntryBody {
+	mode := "par"
+	if meta.Sequential {
+		mode = "seq"
+	}
+	k := tracestore.Key{
+		Benchmark:       meta.Benchmark,
+		PEs:             meta.PEs,
+		Sequential:      meta.Sequential,
+		EmulatorVersion: meta.EmulatorVersion,
+	}
+	b := traceEntryBody{
+		Key:             k.String(),
+		Benchmark:       meta.Benchmark,
+		PEs:             meta.PEs,
+		Mode:            mode,
+		EmulatorVersion: meta.EmulatorVersion,
+		Refs:            meta.Refs,
+		Bytes:           size,
+	}
+	if meta.Refs > 0 {
+		b.BytesPerRef = float64(size) / float64(meta.Refs)
+	}
+	return b
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.fail(w, http.StatusNotFound, "no trace store attached (start rapwamd with -tracedir)")
+		return
+	}
+	entries, err := s.store.List()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "listing trace store: %v", err)
+		return
+	}
+	out := make([]traceEntryBody, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, traceBody(e.Meta, e.Bytes))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// handleTrace serves one trace cell's metadata:
+// /v1/traces/{bench}?pes=N&mode=par|seq. It never generates — a
+// missing cell is a 404 (warm it with tracegen or by requesting an
+// experiment that needs it).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.fail(w, http.StatusNotFound, "no trace store attached (start rapwamd with -tracedir)")
+		return
+	}
+	name := r.PathValue("bench")
+	if _, ok := bench.ByName(name); !ok {
+		s.fail(w, http.StatusNotFound, "unknown benchmark %q", name)
+		return
+	}
+	q := r.URL.Query()
+	pes, err := intParam(q, "pes", 1, 1, trace.MaxPEs)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode := q.Get("mode")
+	if mode == "" {
+		mode = "par"
+	}
+	if mode != "par" && mode != "seq" {
+		s.fail(w, http.StatusBadRequest, "parameter mode=%q: need par or seq", mode)
+		return
+	}
+	k := bench.StoreKey(name, pes, mode == "seq")
+	meta, size, err := s.store.Meta(k)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "trace %v not stored: %v", k, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceBody(meta, size))
+}
+
+// Serve runs the server on ln (or, when ln is nil, on addr) until ctx
+// is cancelled, then shuts down gracefully: cancelling ctx cancels
+// every in-flight request context (BaseContext), which aborts their
+// grid computations end to end, so the drain completes quickly. A
+// clean ctx-initiated shutdown returns nil.
+func Serve(ctx context.Context, addr string, ln net.Listener, s *Server, drain time.Duration) error {
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
+	hs := &http.Server{
+		Addr:        addr,
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- hs.Serve(ln)
+		} else {
+			errc <- hs.ListenAndServe()
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		<-errc // http.ErrServerClosed
+		if err != nil {
+			return fmt.Errorf("service: shutdown: %w", err)
+		}
+		return nil
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -68,11 +69,21 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s@%dPE/%s/%s", k.Benchmark, k.PEs, mode, k.EmulatorVersion)
 }
 
+// ContentHash returns the canonical 12-hex-digit content address of a
+// key: the SHA-256 prefix of the NUL-joined parts. It is the shared
+// addressing scheme of every content-addressed store in the repo (the
+// trace store here, the experiment result cache in internal/service) —
+// NUL never occurs in a component, so distinct part lists can never
+// collide by concatenation.
+func ContentHash(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(h[:6])
+}
+
 // hash returns the 12-hex-digit content address of the key.
 func (k Key) hash() string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d\x00%t\x00%s\x00v%d",
-		k.Benchmark, k.PEs, k.Sequential, k.EmulatorVersion, trace.CodecVersion)))
-	return hex.EncodeToString(h[:6])
+	return ContentHash(k.Benchmark, fmt.Sprint(k.PEs), fmt.Sprint(k.Sequential),
+		k.EmulatorVersion, fmt.Sprintf("v%d", trace.CodecVersion))
 }
 
 // stem is the key's file name without extension.
@@ -115,7 +126,17 @@ type Store struct {
 	puts   atomic.Int64
 }
 
-// Open creates (if needed) and opens a store directory.
+// StaleTempAge is how old a temp file must be before Open sweeps it.
+// Writers hold their temp file only for the duration of one atomic
+// temp+rename write (seconds); anything hours old is a stranded
+// dropping from a killed writer, not a write in progress.
+const StaleTempAge = time.Hour
+
+// Open creates (if needed) and opens a store directory, sweeping any
+// stale *.tmp files a killed writer left behind (the atomic
+// temp+rename scheme cleans up after errors, but not after SIGKILL or
+// a power cut mid-write). Temps younger than StaleTempAge are left
+// alone — they may belong to a live writer in another process.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("tracestore: empty directory")
@@ -123,7 +144,35 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
+	SweepStaleTemps(dir, StaleTempAge)
 	return &Store{dir: dir}, nil
+}
+
+// SweepStaleTemps removes *.tmp files in dir whose modification time
+// is more than olderThan ago, returning how many were removed. It is
+// shared by every store using the temp+rename write scheme (the trace
+// store and the service result cache); sweep failures are deliberately
+// non-fatal — a stranded temp wastes disk but corrupts nothing.
+func SweepStaleTemps(dir string, olderThan time.Duration) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-olderThan)
+	removed := 0
+	for _, e := range entries {
+		if !e.Type().IsRegular() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // Dir returns the store's root directory.
@@ -200,6 +249,25 @@ func (s *Store) Replay(k Key, sink trace.Sink) (trace.Meta, error) {
 	return cr.Meta(), nil
 }
 
+// Meta decodes only the header of the stored trace for k, verifying it
+// against the key, and returns it with the file size — the cheap
+// metadata lookup behind the service's /v1/traces endpoint. A missing
+// cell counts as a miss.
+func (s *Store) Meta(k Key) (trace.Meta, int64, error) {
+	meta, size, err := readHeader(s.Path(k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+		}
+		return trace.Meta{}, 0, err
+	}
+	if err := verifyMeta(k, meta); err != nil {
+		return meta, size, err
+	}
+	s.hits.Add(1)
+	return meta, size, nil
+}
+
 // Load fully decodes the stored trace for k into a Buffer (for callers
 // that want the in-memory form; prefer Replay for streaming).
 func (s *Store) Load(k Key) (*trace.Buffer, trace.Meta, error) {
@@ -229,8 +297,11 @@ func (s *Store) Put(k Key, gen func(trace.Sink) error) (retErr error) {
 	if err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
+	committed := false
 	defer func() {
-		if retErr != nil {
+		// Clean the temp file up on error AND on panic (a machine
+		// error escaping gen must not strand a dropping).
+		if !committed {
 			tmp.Close()
 			os.Remove(tmp.Name())
 		}
@@ -256,6 +327,7 @@ func (s *Store) Put(k Key, gen func(trace.Sink) error) (retErr error) {
 	if err := os.Rename(tmp.Name(), s.Path(k)); err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
+	committed = true
 	s.puts.Add(1)
 	return nil
 }
@@ -272,8 +344,9 @@ func (s *Store) PutSidecar(k Key, v any) (retErr error) {
 	if err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
+	committed := false
 	defer func() {
-		if retErr != nil {
+		if !committed {
 			tmp.Close()
 			os.Remove(tmp.Name())
 		}
@@ -287,6 +360,7 @@ func (s *Store) PutSidecar(k Key, v any) (retErr error) {
 	if err := os.Rename(tmp.Name(), s.sidecarPath(k)); err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
+	committed = true
 	return nil
 }
 

@@ -1,10 +1,13 @@
 package tracestore
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -220,5 +223,129 @@ func TestKeyHashDistinguishesCells(t *testing.T) {
 			t.Fatalf("key %v collides", v)
 		}
 		seen[v.stem()] = true
+	}
+}
+
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte("partial"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	stale1 := write("put-abc" + TraceExt + ".tmp")
+	stale2 := write("put-def.json.tmp")
+	fresh := write("put-live" + TraceExt + ".tmp")
+	keep := write("unrelated.rwt2")
+	old := time.Now().Add(-2 * StaleTempAge)
+	for _, p := range []string{stale1, stale2} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{stale1, stale2} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale temp %s survived Open", p)
+		}
+	}
+	// A young temp may belong to a live writer in another process, and
+	// non-temp files are never the sweep's business.
+	for _, p := range []string{fresh, keep} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s should have survived Open: %v", p, err)
+		}
+	}
+}
+
+// TestInterruptedWriteLeavesNoDroppings is the regression test for the
+// killed-writer scenario end to end: a Put whose generator dies part
+// way through must leave the store with no *.tmp files and no partial
+// trace, and a later Put of the same cell must succeed cleanly.
+func TestInterruptedWriteLeavesNoDroppings(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	boom := errors.New("writer interrupted")
+	err = s.Put(k, func(sink trace.Sink) error {
+		for _, r := range synthRefs(1000, k.PEs) {
+			sink.Add(r)
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Put: err = %v, want the generator's error", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("interrupted Put left %s behind", e.Name())
+	}
+	if s.Has(k) {
+		t.Fatal("interrupted Put registered the cell")
+	}
+	if err := s.Put(k, func(sink trace.Sink) error {
+		for _, r := range synthRefs(1000, k.PEs) {
+			sink.Add(r)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("retry Put after interruption: %v", err)
+	}
+	if _, err := s.Replay(k, trace.Discard); err != nil {
+		t.Fatalf("replay after retry: %v", err)
+	}
+}
+
+func TestContentHashStable(t *testing.T) {
+	// The key hash is the on-disk address of every stored trace; it
+	// must never drift, or warm stores silently go cold. This pins the
+	// scheme: 12 hex digits of SHA-256 over NUL-joined parts.
+	k := Key{Benchmark: "qsort", PEs: 8, Sequential: false, EmulatorVersion: "emuT"}
+	want := ContentHash("qsort", "8", "false", "emuT", fmt.Sprintf("v%d", trace.CodecVersion))
+	if got := k.hash(); got != want {
+		t.Fatalf("Key.hash = %s, want ContentHash form %s", got, want)
+	}
+	if len(want) != 12 {
+		t.Fatalf("hash length %d, want 12 hex digits", len(want))
+	}
+	if ContentHash("a", "bc") == ContentHash("ab", "c") {
+		t.Fatal("NUL joining failed: concatenation collision")
+	}
+}
+
+func TestPutPanicLeavesNoDroppings(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A machine-error panic escaping the generator (e.g. an overflow in
+	// the emulator) unwinds through Put; the temp file must still be
+	// cleaned up.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		s.Put(testKey(), func(sink trace.Sink) error { panic("machine error") })
+	}()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("panicking Put left %s behind", e.Name())
 	}
 }

@@ -44,6 +44,8 @@
 package rapwam
 
 import (
+	"context"
+
 	"repro/internal/bench"
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -108,6 +110,12 @@ type Area = trace.Area
 // NumAreas re-exports the number of distinct storage areas (the length
 // of RefCounter.ByArea's result, AreaNone included at index 0).
 const NumAreas = trace.NumAreas
+
+// MaxPEs re-exports the largest PE count the reference-level tooling
+// supports; engine runs, trace cells and cache simulations all reject
+// larger values, and CLIs validate their -pes/-maxpes flags against it
+// at the flag boundary.
+const MaxPEs = trace.MaxPEs
 
 // Ref re-exports a single memory reference (one word read or written
 // by one PE, classified per the paper's Table 1).
@@ -243,9 +251,10 @@ func BenchmarkNames() []string { return bench.Names() }
 func EmulatorVersion() string { return core.EmulatorVersion }
 
 // RunBenchmark executes a benchmark with the given parallelism,
-// validating its answer.
-func RunBenchmark(b Benchmark, pes int, sequential bool) (*Result, error) {
-	res, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential})
+// validating its answer. Cancelling ctx aborts the emulator mid-run
+// and returns ctx.Err().
+func RunBenchmark(ctx context.Context, b Benchmark, pes int, sequential bool) (*Result, error) {
+	res, err := bench.Run(ctx, b, bench.RunConfig{PEs: pes, Sequential: sequential})
 	if err != nil {
 		return nil, err
 	}
@@ -253,8 +262,8 @@ func RunBenchmark(b Benchmark, pes int, sequential bool) (*Result, error) {
 }
 
 // TraceBenchmark runs a benchmark capturing its memory trace.
-func TraceBenchmark(b Benchmark, pes int, sequential bool) (*Trace, error) {
-	buf, _, err := bench.Trace(b, pes, sequential)
+func TraceBenchmark(ctx context.Context, b Benchmark, pes int, sequential bool) (*Trace, error) {
+	buf, _, err := bench.Trace(ctx, b, pes, sequential)
 	if err != nil {
 		return nil, err
 	}
@@ -265,8 +274,8 @@ func TraceBenchmark(b Benchmark, pes int, sequential bool) (*Trace, error) {
 // is generated, without buffering it — the streaming counterpart of
 // TraceBenchmark for runs whose traces should not be materialized
 // (e.g. the engine feeding cache simulators directly).
-func TraceBenchmarkTo(b Benchmark, pes int, sequential bool, sink Sink) (*Result, error) {
-	res, err := bench.Run(b, bench.RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
+func TraceBenchmarkTo(ctx context.Context, b Benchmark, pes int, sequential bool, sink Sink) (*Result, error) {
+	res, err := bench.Run(ctx, b, bench.RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
 	if err != nil {
 		return nil, err
 	}

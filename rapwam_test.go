@@ -2,6 +2,7 @@ package rapwam
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -118,7 +119,7 @@ func TestTraceReplayAllMatchesSimulateCache(t *testing.T) {
 	if !ok {
 		t.Fatal("deriv missing")
 	}
-	tr, err := TraceBenchmark(bm, 2, false)
+	tr, err := TraceBenchmark(context.Background(), bm, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,14 +169,14 @@ func TestBenchmarkAccessors(t *testing.T) {
 	if !ok {
 		t.Fatal("tak missing")
 	}
-	res, err := RunBenchmark(b, 2, false)
+	res, err := RunBenchmark(context.Background(), b, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Success {
 		t.Error("tak failed")
 	}
-	tr, err := TraceBenchmark(b, 2, false)
+	tr, err := TraceBenchmark(context.Background(), b, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_service.sh — run the serving-layer benchmarks (warm-cache
+# requests/s and p50/p99 latency over real HTTP, sequential and
+# parallel clients) and record the result as BENCH_service.json, so the
+# results daemon's performance trajectory is captured per PR next to
+# the kernel and emulator numbers.
+#
+# Usage: scripts/bench_service.sh [output.json]
+#   BENCH_COUNT=N   repetitions per benchmark (default 1)
+#   BENCH_FILTER=RE benchmarks to run (default the service suite)
+set -eu
+
+out="${1:-BENCH_service.json}"
+count="${BENCH_COUNT:-1}"
+filter="${BENCH_FILTER:-BenchmarkServiceWarm}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$filter" -benchmem -count "$count" ./internal/service > "$tmp" || {
+    status=$?
+    cat "$tmp"
+    echo "bench_service.sh: go test -bench failed" >&2
+    exit "$status"
+}
+cat "$tmp"
+
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { printf "[" }
+$1 ~ /^Benchmark/ {
+    if (n++) printf ","
+    printf "\n  {\"name\":\"%s\",\"iterations\":%s", $1, $2
+    # remaining fields come in value/unit pairs (ns/op, req/s, p50-ns, ...)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]+/, "_", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    printf ",\"go\":\"%s\"}", goversion
+}
+END { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"

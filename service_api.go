@@ -1,0 +1,114 @@
+package rapwam
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// This file re-exports the experiment results service: a long-running
+// HTTP/JSON daemon (cmd/rapwamd is its CLI) that serves every table
+// and figure of the paper from a content-addressed result cache over
+// the experiments grid and the persistent trace store. Each distinct
+// (experiment, parameters) cell is computed at most once per emulator
+// version: concurrent identical requests share one grid run
+// (single-flight), and every later request — in this daemon or a
+// restarted one over the same cache directory — is a disk or memory
+// hit with a byte-identical body and zero emulator runs.
+
+// ServeConfig parameterizes the results service.
+type ServeConfig struct {
+	// Addr is the listen address (default ":8080"). Ignored when
+	// Listener is set.
+	Addr string
+	// Listener, when non-nil, serves on an existing listener (tests
+	// bind ":0" and pass it here).
+	Listener net.Listener
+	// ResultDir roots the content-addressed result cache (required).
+	ResultDir string
+	// TraceDir optionally attaches a persistent trace store so cold
+	// computations reuse — and warm — stored traces.
+	TraceDir string
+	// Parallelism bounds the experiments grid worker pool (0 keeps the
+	// current setting).
+	Parallelism int
+	// DrainTimeout bounds graceful shutdown (default 5s). Shutdown is
+	// normally much faster: cancelling the serve context also cancels
+	// every in-flight request's computation.
+	DrainTimeout time.Duration
+	// Log, when non-nil, receives one line per notable server event.
+	Log func(msg string)
+}
+
+// Service is an experiment results server ready to serve HTTP.
+type Service struct {
+	s *service.Server
+}
+
+// NewService opens the result cache (and trace store, when configured)
+// and builds the service. Use Handler to mount it, or Serve to run a
+// complete daemon. The experiments grid underneath is process-global,
+// so build one live service per process (sequential construction over
+// the same directories — the restart pattern — is fine).
+func NewService(cfg ServeConfig) (*Service, error) {
+	s, err := service.New(service.Config{
+		ResultDir:   cfg.ResultDir,
+		TraceDir:    cfg.TraceDir,
+		Parallelism: cfg.Parallelism,
+		Log:         cfg.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{s: s}, nil
+}
+
+// Handler returns the /v1 API handler (healthz, stats, experiments,
+// traces — see docs/API.md).
+func (s *Service) Handler() http.Handler { return s.s.Handler() }
+
+// Computes reports how many experiment computations (result-cache
+// fills) the service has performed; warm-cache traffic leaves it
+// unchanged.
+func (s *Service) Computes() int64 { return s.s.Computes() }
+
+// ResultCacheStats returns the service's result cache counters.
+func (s *Service) ResultCacheStats() ResultCacheStats { return s.s.ResultCache().Stats() }
+
+// Serve runs the results service until ctx is cancelled, then shuts
+// down gracefully: the cancellation reaches every in-flight request's
+// grid computation (and the emulator's instruction loop) end to end,
+// so draining is prompt even mid-sweep. A clean ctx-initiated
+// shutdown returns nil.
+func Serve(ctx context.Context, cfg ServeConfig) error {
+	s, err := NewService(cfg)
+	if err != nil {
+		return err
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = ":8080"
+	}
+	return service.Serve(ctx, addr, cfg.Listener, s.s, cfg.DrainTimeout)
+}
+
+// ResultCache re-exports the content-addressed experiment result
+// cache: rendered results keyed by (experiment, canonical parameters,
+// emulator version, codec version), written with the same atomic
+// temp+rename discipline as the trace store.
+type ResultCache = service.ResultCache
+
+// ResultCacheKey re-exports the result cache key.
+type ResultCacheKey = service.CacheKey
+
+// ResultCacheStats re-exports the result cache counters.
+type ResultCacheStats = service.CacheStats
+
+// OpenResultCache creates (if needed) and opens a result cache
+// directory, sweeping stale temp files left by a killed writer.
+func OpenResultCache(dir string) (*ResultCache, error) {
+	return service.OpenResultCache(dir)
+}
