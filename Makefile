@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-service fmt vet docs
+.PHONY: all build test race bench bench-engine bench-replay bench-service fmt vet docs
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/mem/ ./internal/trace/ ./internal/cache/ ./internal/experiments/ ./internal/tracestore/ ./internal/service/
+	$(GO) test -race ./internal/core/ ./internal/mem/ ./internal/trace/ ./internal/cache/ ./internal/experiments/ ./internal/tracestore/ ./internal/bench/ ./internal/service/
 
 # bench runs the cache-replay benchmarks with -benchmem and records the
 # result in BENCH_cache.json (simrefs/s, allocs/op) so the simulator's
@@ -25,6 +25,13 @@ bench:
 # generation, refs/s and MLIPS) and records BENCH_engine.json.
 bench-engine:
 	sh scripts/bench_engine.sh BENCH_engine.json
+
+# bench-replay runs the intra-cell parallelism benchmarks (set-sharded
+# cache replay vs shard count, pipelined trace generation vs encode
+# workers — both bit-identical to sequential) and records
+# BENCH_replay.json.
+bench-replay:
+	sh scripts/bench_replay.sh BENCH_replay.json
 
 # bench-service runs the serving-layer benchmarks (warm-cache req/s and
 # p50/p99 latency over real HTTP) and records BENCH_service.json.

@@ -14,7 +14,9 @@
 // Grid experiments (table3, fig4, mlips, bus, ablations) run on a
 // bounded worker pool over memoized traces, simulating all cache
 // configurations per trace concurrently in a single pass; -par bounds
-// the pool and -progress reports per-cell completion on stderr.
+// the pool, -shards adds intra-cell parallelism (set-sharded replay
+// and parallel trace encoding, bit-identical results) within the same
+// budget, and -progress reports per-cell completion on stderr.
 //
 // -tracedir DIR attaches a persistent trace store: every emulator run
 // is performed at most once per emulator version, traces stream to
@@ -35,6 +37,7 @@ import (
 
 	"repro"
 
+	"repro/internal/cliflag"
 	"repro/internal/profflag"
 )
 
@@ -47,6 +50,17 @@ func validatePEs(flagName string, n int) {
 	}
 }
 
+// resolveWorkers validates a worker-count flag, exiting with one line
+// on a negative value.
+func resolveWorkers(name string, n int) int {
+	v, err := cliflag.Resolve(name, n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	return v
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1|fig2|table2|table3|fig4|mlips|bus|ablations|all")
@@ -54,7 +68,8 @@ func main() {
 		maxPEs   = flag.Int("maxpes", 16, "largest PE count for fig2")
 		cache    = flag.Int("cache", 256, "cache size (words) for mlips/bus")
 		target   = flag.Float64("target", 2, "MLIPS target")
-		par      = flag.Int("par", 0, "experiment grid parallelism (0 = GOMAXPROCS)")
+		par      = cliflag.Par(flag.CommandLine)
+		shards   = cliflag.Shards(flag.CommandLine)
 		traceDir = flag.String("tracedir", "", "persistent trace store directory (consulted before any emulator run)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -63,6 +78,8 @@ func main() {
 	flag.Parse()
 	validatePEs("pes", *pes)
 	validatePEs("maxpes", *maxPEs)
+	parN := resolveWorkers("par", *par)
+	shardsN := resolveWorkers("shards", *shards)
 
 	// Ctrl-C / SIGTERM cancel the experiment context: in-flight grid
 	// cells (including the emulator's instruction loop) abort promptly,
@@ -77,7 +94,8 @@ func main() {
 	})
 	defer stop()
 
-	rapwam.SetParallelism(*par)
+	rapwam.SetParallelism(parN)
+	rapwam.SetShards(shardsN)
 	var store *rapwam.TraceStore
 	if *traceDir != "" {
 		s, err := rapwam.SetTraceDir(*traceDir)
@@ -91,7 +109,8 @@ func main() {
 		rapwam.SetProgress(func(msg string) {
 			fmt.Fprintf(os.Stderr, "experiments: %s\n", msg)
 		})
-		fmt.Fprintf(os.Stderr, "experiments: grid parallelism %d\n", rapwam.Parallelism())
+		fmt.Fprintf(os.Stderr, "experiments: grid parallelism %d, intra-cell shards %d\n",
+			rapwam.Parallelism(), rapwam.Shards())
 	}
 	if store != nil {
 		defer func() {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rapwamd -results results [-tracedir traces] [-addr :8080] [-par N] [-v]
+//	rapwamd -results results [-tracedir traces] [-addr :8080] [-par N] [-shards K] [-v]
 //
 // Endpoints (see docs/API.md for parameters and cache-key semantics):
 //
@@ -47,6 +47,8 @@ import (
 	"time"
 
 	"repro"
+
+	"repro/internal/cliflag"
 )
 
 func main() {
@@ -54,15 +56,18 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		resultDir = flag.String("results", "results", "result cache directory (created if needed)")
 		traceDir  = flag.String("tracedir", "", "persistent trace store directory (recommended: cold computations reuse and warm stored traces)")
-		par       = flag.Int("par", 0, "experiment grid parallelism (0 = GOMAXPROCS)")
+		par       = cliflag.Par(flag.CommandLine)
+		shards    = cliflag.Shards(flag.CommandLine)
 		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 		verbose   = flag.Bool("v", false, "log requests and computations on stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: rapwamd [-addr :8080] [-results DIR] [-tracedir DIR] [-par N] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: rapwamd [-addr :8080] [-results DIR] [-tracedir DIR] [-par N] [-shards K] [-v]")
 		os.Exit(2)
 	}
+	parN := resolveWorkers("par", *par)
+	shardsN := resolveWorkers("shards", *shards)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -71,7 +76,8 @@ func main() {
 		Addr:         *addr,
 		ResultDir:    *resultDir,
 		TraceDir:     *traceDir,
-		Parallelism:  *par,
+		Parallelism:  parN,
+		Shards:       shardsN,
 		DrainTimeout: *drain,
 	}
 	if *verbose {
@@ -93,4 +99,15 @@ func orNone(s string) string {
 		return "(none)"
 	}
 	return s
+}
+
+// resolveWorkers validates a worker-count flag, exiting with one line
+// on a negative value.
+func resolveWorkers(name string, n int) int {
+	v, err := cliflag.Resolve(name, n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapwamd:", err)
+		os.Exit(2)
+	}
+	return v
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tracegen generate -tracedir DIR [-bench LIST] [-pes LIST] [-mode auto|par|seq] [-par N] [-v]
+//	tracegen generate -tracedir DIR [-bench LIST] [-pes LIST] [-mode auto|par|seq] [-par N] [-shards K] [-v]
 //	tracegen ls       -tracedir DIR
 //	tracegen inspect  -tracedir DIR | file.rwt2...
 //	tracegen verify   -tracedir DIR | file.rwt2...
@@ -50,6 +50,7 @@ import (
 
 	"repro"
 
+	"repro/internal/cliflag"
 	"repro/internal/profflag"
 )
 
@@ -75,7 +76,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tracegen generate -tracedir DIR [-bench LIST] [-pes LIST] [-mode auto|par|seq] [-par N] [-v]
+  tracegen generate -tracedir DIR [-bench LIST] [-pes LIST] [-mode auto|par|seq] [-par N] [-shards K] [-v]
   tracegen ls       -tracedir DIR
   tracegen inspect  -tracedir DIR | file.rwt2...
   tracegen verify   -tracedir DIR | file.rwt2...`)
@@ -165,7 +166,8 @@ func cmdGenerate(args []string) {
 		benches = fs.String("bench", "paper", "benchmarks: comma-separated names, or paper|large|all")
 		pesList = fs.String("pes", "1,2,4,8", "comma-separated PE counts")
 		mode    = fs.String("mode", "auto", "auto (parallel + 1-PE sequential baseline) | par | seq")
-		par     = fs.Int("par", 0, "concurrent generations (0 = GOMAXPROCS)")
+		par     = cliflag.Par(fs)
+		shards  = cliflag.Shards(fs)
 		verbose = fs.Bool("v", false, "report each generated cell on stderr")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after generation) to this file")
@@ -173,6 +175,14 @@ func cmdGenerate(args []string) {
 	fs.Parse(args)
 	if *dir == "" || fs.NArg() != 0 {
 		usage()
+	}
+	parN, err := cliflag.Resolve("par", *par)
+	if err != nil {
+		fatal(err)
+	}
+	shardsN, err := cliflag.Resolve("shards", *shards)
+	if err != nil {
+		fatal(err)
 	}
 	stopProfiles = startProfiles(*cpuProf, *memProf)
 	defer stopProfiles()
@@ -223,7 +233,8 @@ func cmdGenerate(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	rapwam.SetParallelism(*par)
+	rapwam.SetParallelism(parN)
+	rapwam.SetShards(shardsN)
 	if *verbose {
 		rapwam.SetProgress(func(msg string) {
 			fmt.Fprintf(os.Stderr, "tracegen: %s\n", msg)

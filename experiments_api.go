@@ -28,6 +28,19 @@ func SetParallelism(n int) { experiments.SetParallelism(n) }
 // Parallelism returns the current experiment worker-pool width.
 func Parallelism() int { return experiments.Parallelism() }
 
+// SetShards configures intra-cell parallelism: how many set-shard
+// workers replay each cache configuration (fully associative
+// configurations still run sequentially — see EffectiveCacheShards)
+// and how many goroutines encode RWT2 chunks during cold trace
+// generation. n <= 0 selects runtime.GOMAXPROCS(0). Results and
+// stored trace bytes are bit-identical at any setting. The grid
+// budget is shared: with parallelism B and shards K at most
+// max(1, B/K) cells run at once.
+func SetShards(n int) { experiments.SetShards(n) }
+
+// Shards returns the current intra-cell parallelism width (default 1).
+func Shards() int { return experiments.Shards() }
+
 // SetProgress installs a callback receiving one short line per
 // completed experiment grid cell (nil disables progress reporting).
 // The callback may be invoked from multiple goroutines concurrently.

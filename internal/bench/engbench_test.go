@@ -126,6 +126,48 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceGenerationWorkers measures the pipelined generation
+// path (emulate on one goroutine, chunk encoding on workers) that
+// EnsureStored uses when generation workers are configured. workers=1
+// is pure emulate/encode overlap; higher counts add parallel chunk
+// encoders. Output bytes are identical at every worker count, so this
+// isolates the wall-clock effect alone. scripts/bench_replay.sh
+// records it into BENCH_replay.json.
+func BenchmarkTraceGenerationWorkers(b *testing.B) {
+	cells := []struct {
+		bench string
+		pes   int
+	}{
+		{"deriv", 8},
+		{"qsort", 8},
+	}
+	for _, cell := range cells {
+		for _, workers := range []int{1, 2, 4} {
+			cell, workers := cell, workers
+			b.Run(nameCell(cell.bench, cell.pes)+"-w"+strconv.Itoa(workers), func(b *testing.B) {
+				code := compileCell(b, cell.bench)
+				var refs, inf int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cw, err := trace.NewParallelChunkWriter(io.Discard, trace.Meta{
+						Benchmark:       cell.bench,
+						PEs:             cell.pes,
+						EmulatorVersion: core.EmulatorVersion,
+					}, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					runEngine(b, code, cell.pes, cw, &refs, &inf)
+					if err := cw.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportEngineMetrics(b, refs, inf)
+			})
+		}
+	}
+}
+
 // nameCell formats a sub-benchmark name ("qsort-4pe").
 func nameCell(bench string, pes int) string {
 	return bench + "-" + strconv.Itoa(pes) + "pe"

@@ -12,6 +12,7 @@ package bench
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,32 @@ func SetTraceStore(s *tracestore.Store) {
 // TraceStore returns the attached persistent trace store (nil if none).
 func TraceStore() *tracestore.Store { return traceStoreP.Load() }
 
+// genWorkers is the configured trace-encode worker count for cold
+// generation (0 = unset, meaning 1: the fully synchronous encoder).
+var genWorkers atomic.Int64
+
+// SetGenWorkers configures how many goroutines encode RWT2 chunks
+// during cold trace generation (EnsureStored): n > 1 pipelines
+// emulate→encode→write with n encode workers, n = 1 restores the
+// synchronous encoder, and n <= 0 selects GOMAXPROCS. The stored bytes
+// are identical at every setting (trace.ParallelChunkWriter), so the
+// golden hashes and content addresses never move.
+func SetGenWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	genWorkers.Store(int64(n))
+}
+
+// GenWorkers returns the configured generation encode worker count
+// (default 1).
+func GenWorkers() int {
+	if n := int(genWorkers.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // StoreKey returns the trace-store key for a benchmark cell under the
 // current emulator version.
 func StoreKey(benchmark string, pes int, sequential bool) tracestore.Key {
@@ -105,7 +132,7 @@ func EnsureStored(ctx context.Context, b Benchmark, pes int, sequential bool) (t
 			return
 		}
 		var res *core.Result
-		f.err = s.Put(k, func(sink trace.Sink) error {
+		f.err = s.PutWorkers(k, GenWorkers(), func(sink trace.Sink) error {
 			r, err := Run(ctx, b, RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
 			res = r
 			return err

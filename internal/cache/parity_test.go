@@ -20,7 +20,7 @@ import (
 // parityTrace memoizes one engine trace per (bench, pes, sequential).
 var parityTraces = map[string]*trace.Buffer{}
 
-func parityTrace(t *testing.T, name string, pes int, sequential bool) *trace.Buffer {
+func parityTrace(t testing.TB, name string, pes int, sequential bool) *trace.Buffer {
 	t.Helper()
 	key := fmt.Sprintf("%s/%d/%v", name, pes, sequential)
 	if buf, ok := parityTraces[key]; ok {

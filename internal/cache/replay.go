@@ -14,7 +14,18 @@ import "repro/internal/trace"
 // All configurations are validated up front; on error nothing is
 // simulated.
 func SimulateAll(buf *trace.Buffer, cfgs []Config) ([]Stats, error) {
-	return SimulateAllStream(cfgs, func(sinks []trace.Sink) error {
+	return SimulateAllShards(buf, cfgs, 1)
+}
+
+// SimulateAllShards is SimulateAll with intra-configuration
+// parallelism: each configuration that can be set-sharded (see
+// EffectiveShards) is replayed by up to shards workers partitioned by
+// cache set, with statistics merged by the deterministic reduction in
+// Sharded.Close — bit-identical to shards = 1. Configurations that
+// cannot shard (fully associative, or fewer sets than workers) fall
+// back to a sequential simulator automatically.
+func SimulateAllShards(buf *trace.Buffer, cfgs []Config, shards int) ([]Stats, error) {
+	return SimulateAllStreamShards(cfgs, shards, func(sinks []trace.Sink) error {
 		buf.ReplayAll(sinks...)
 		return nil
 	})
@@ -28,23 +39,49 @@ func SimulateAll(buf *trace.Buffer, cfgs []Config) ([]Stats, error) {
 // statistics. The experiments grid uses it to stream traces from disk
 // without materializing them.
 func SimulateAllStream(cfgs []Config, replay func(sinks []trace.Sink) error) ([]Stats, error) {
+	return SimulateAllStreamShards(cfgs, 1, replay)
+}
+
+// SimulateAllStreamShards is SimulateAllStream with set-sharded
+// intra-configuration parallelism (see SimulateAllShards). Shardable
+// configurations get a Sharded sink, sequential ones a plain Sim; the
+// replay callback drives them identically (both implement the batch
+// sink interfaces), and the sharded sinks are drained and merged after
+// replay returns — also on replay error, so no worker goroutine leaks.
+func SimulateAllStreamShards(cfgs []Config, shards int, replay func(sinks []trace.Sink) error) ([]Stats, error) {
 	for _, cfg := range cfgs {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
 	}
 	sims := make([]*Sim, len(cfgs))
+	sharded := make([]*Sharded, len(cfgs))
 	sinks := make([]trace.Sink, len(cfgs))
 	for i, cfg := range cfgs {
-		sims[i] = New(cfg)
-		sinks[i] = sims[i]
+		if EffectiveShards(cfg, shards) > 1 {
+			sharded[i] = NewSharded(cfg, shards)
+			sinks[i] = sharded[i]
+		} else {
+			sims[i] = New(cfg)
+			sinks[i] = sims[i]
+		}
 	}
-	if err := replay(sinks); err != nil {
+	err := replay(sinks)
+	for _, sh := range sharded {
+		if sh != nil {
+			sh.Close()
+		}
+	}
+	if err != nil {
 		return nil, err
 	}
 	out := make([]Stats, len(cfgs))
-	for i, sim := range sims {
-		out[i] = sim.Stats()
+	for i := range cfgs {
+		if sharded[i] != nil {
+			out[i] = sharded[i].Stats()
+		} else {
+			out[i] = sims[i].Stats()
+		}
 	}
 	return out, nil
 }

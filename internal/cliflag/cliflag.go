@@ -1,0 +1,42 @@
+// Package cliflag holds the worker-count flags shared by the command
+// line tools, so -par and -shards mean the same thing — same help
+// text, same validation, same 0 = GOMAXPROCS convention — in every
+// command that has them (cmd/experiments, cmd/tracegen, cmd/rapwamd,
+// cmd/cachesim).
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+)
+
+// ParHelp and ShardsHelp are the single help strings for the two
+// worker-count flags.
+const (
+	ParHelp = "grid worker budget: concurrent experiment cells — engine runs and trace replays (0 = GOMAXPROCS)"
+	// ShardsHelp documents -shards. The default of 1 (not GOMAXPROCS)
+	// is deliberate: the paper's fully associative configurations
+	// cannot shard, and a GOMAXPROCS default would shrink the grid
+	// pool (the budget is shared) with nothing gained inside cells.
+	ShardsHelp = "intra-cell parallelism: set-shard replay workers per cache configuration and trace-encode workers per generation (0 = GOMAXPROCS)"
+)
+
+// Par registers the -par flag on fs.
+func Par(fs *flag.FlagSet) *int { return fs.Int("par", 0, ParHelp) }
+
+// Shards registers the -shards flag on fs.
+func Shards(fs *flag.FlagSet) *int { return fs.Int("shards", 1, ShardsHelp) }
+
+// Resolve validates a worker-count flag value: negative values are
+// rejected, 0 resolves to runtime.GOMAXPROCS(0), positive values pass
+// through. name appears in the error ("par", "shards").
+func Resolve(name string, n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-%s %d: worker count cannot be negative (0 = GOMAXPROCS)", name, n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
+}

@@ -1,0 +1,49 @@
+package cliflag
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if _, err := Resolve("par", -1); err == nil {
+		t.Fatal("Resolve(-1): want error, got nil")
+	} else if !strings.Contains(err.Error(), "-par -1") {
+		t.Fatalf("Resolve(-1): error %q does not name the flag and value", err)
+	}
+	if n, err := Resolve("shards", 0); err != nil || n != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, %v; want GOMAXPROCS=%d", n, err, runtime.GOMAXPROCS(0))
+	}
+	if n, err := Resolve("par", 7); err != nil || n != 7 {
+		t.Fatalf("Resolve(7) = %d, %v; want 7", n, err)
+	}
+}
+
+// TestRegistration pins the shared flag names, defaults and help text:
+// every command registering through this package presents identical
+// -par and -shards flags.
+func TestRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	par := Par(fs)
+	shards := Shards(fs)
+	if *par != 0 {
+		t.Errorf("-par default = %d, want 0 (GOMAXPROCS)", *par)
+	}
+	if *shards != 1 {
+		t.Errorf("-shards default = %d, want 1 (sequential)", *shards)
+	}
+	if f := fs.Lookup("par"); f == nil || f.Usage != ParHelp {
+		t.Errorf("-par help text not the shared ParHelp")
+	}
+	if f := fs.Lookup("shards"); f == nil || f.Usage != ShardsHelp {
+		t.Errorf("-shards help text not the shared ShardsHelp")
+	}
+	if err := fs.Parse([]string{"-par", "3", "-shards", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if *par != 3 || *shards != 2 {
+		t.Fatalf("parsed (par, shards) = (%d, %d), want (3, 2)", *par, *shards)
+	}
+}

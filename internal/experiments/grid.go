@@ -58,6 +58,38 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// intraShards is the configured intra-cell width (0 = unset, meaning
+// 1: every cell fully sequential, the historical behavior).
+var intraShards atomic.Int64
+
+// SetShards configures intra-cell parallelism: how many set-shard
+// workers replay a single cache configuration (cache.SimulateAllShards
+// — fully associative configurations still clamp to 1), and how many
+// goroutines encode RWT2 chunks during cold trace generation
+// (bench.SetGenWorkers). n <= 0 selects GOMAXPROCS. Results are
+// bit-identical at every setting.
+//
+// The grid's worker budget is shared, not multiplied: with parallelism
+// B and shards K, runGrid runs at most max(1, B/K) cells at once, so
+// B bounds total concurrency whether it is spent across cells (warm
+// sweeps, many small configs) or inside one (a cold single-experiment
+// request on an otherwise idle host).
+func SetShards(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	intraShards.Store(int64(n))
+	bench.SetGenWorkers(n)
+}
+
+// Shards returns the current intra-cell parallelism width (default 1).
+func Shards() int {
+	if n := int(intraShards.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // progressFn gives the stored callback a fixed concrete type so
 // atomic.Value accepts nil installs.
 type progressFn func(msg string)
@@ -88,6 +120,14 @@ func progress(format string, args ...any) {
 // to their own result slots.
 func runGrid(ctx context.Context, n int, fn func(i int) error) error {
 	workers := Parallelism()
+	// Intra-cell shards spend the same global budget: B workers ÷ K
+	// shards per cell ≈ B goroutines doing real work either way.
+	if k := Shards(); k > 1 {
+		workers /= k
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	if workers > n {
 		workers = n
 	}
@@ -297,16 +337,18 @@ func GenerateTraces(ctx context.Context, targets []TraceTarget) error {
 
 // simulateAll replays one memoized trace through all configurations in
 // a single fan-out pass and returns per-configuration statistics. With
-// a store attached the pass streams from disk.
+// a store attached the pass streams from disk. Each configuration is
+// additionally set-sharded across Shards() workers when its geometry
+// allows (bit-identical either way).
 func simulateAll(ctx context.Context, b bench.Benchmark, pes int, sequential bool, cfgs []cache.Config) ([]cache.Stats, error) {
 	if activeStore() == nil {
 		buf, err := cachedTrace(ctx, b, pes, sequential)
 		if err != nil {
 			return nil, err
 		}
-		return cache.SimulateAll(buf, cfgs)
+		return cache.SimulateAllShards(buf, cfgs, Shards())
 	}
-	return cache.SimulateAllStream(cfgs, func(sinks []trace.Sink) error {
+	return cache.SimulateAllStreamShards(cfgs, Shards(), func(sinks []trace.Sink) error {
 		return replayCell(ctx, b, pes, sequential, sinks...)
 	})
 }

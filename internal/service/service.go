@@ -27,6 +27,12 @@ type Config struct {
 	// Parallelism bounds the experiments grid worker pool (0 keeps the
 	// current setting).
 	Parallelism int
+	// Shards sets intra-cell parallelism — set-shard replay workers
+	// per cache configuration and trace-generation encode workers —
+	// within the grid's shared budget (0 keeps the current setting,
+	// negative selects GOMAXPROCS). Results are bit-identical at any
+	// setting.
+	Shards int
 	// Log, when non-nil, receives one line per notable server event
 	// (startup, compute begin/end, cache write failures).
 	Log func(msg string)
@@ -74,6 +80,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Parallelism != 0 {
 		experiments.SetParallelism(cfg.Parallelism)
+	}
+	if cfg.Shards != 0 {
+		experiments.SetShards(cfg.Shards)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -155,6 +164,7 @@ type statsBody struct {
 	EmulatorVersion string            `json:"emulator_version"`
 	CodecVersion    int               `json:"codec_version"`
 	Parallelism     int               `json:"parallelism"`
+	Shards          int               `json:"shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +179,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		EmulatorVersion: core.EmulatorVersion,
 		CodecVersion:    trace.CodecVersion,
 		Parallelism:     experiments.Parallelism(),
+		Shards:          experiments.Shards(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -168,7 +168,25 @@ func NewChunkWriter(w io.Writer, meta Meta) (*ChunkWriter, error) {
 		enc:   make([]byte, 0, codecChunkRefs*3),
 		perPE: make([]int64, meta.PEs),
 	}
-	hdr := make([]byte, 0, 256)
+	cw.rawHdr, cw.refsOff = compactHeader(meta)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(cw.rawHdr))
+	if _, err := cw.w.Write(cw.rawHdr); err != nil {
+		return nil, err
+	}
+	if _, err := cw.w.Write(crc[:]); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+// compactHeader builds the compact-format header for meta (without its
+// trailing CRC) and returns it along with the offset of the fixed
+// 8-byte reference-count field, which Close back-patches on a seekable
+// writer once the streamed count is known. Shared by ChunkWriter and
+// ParallelChunkWriter so the two emit byte-identical headers.
+func compactHeader(meta Meta) (hdr []byte, refsOff int) {
+	hdr = make([]byte, 0, 256)
 	hdr = append(hdr, compactMagic[:]...)
 	hdr = append(hdr, CodecVersion)
 	var flags byte
@@ -177,9 +195,7 @@ func NewChunkWriter(w io.Writer, meta Meta) (*ChunkWriter, error) {
 	}
 	hdr = append(hdr, flags)
 	hdr = appendUvarint(hdr, uint64(meta.PEs))
-	// The reference count is fixed-width so Close can back-patch it on
-	// a seekable writer once the streamed count is known.
-	cw.refsOff = len(hdr)
+	refsOff = len(hdr)
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(max(meta.Refs, 0)))
 	hdr = appendString(hdr, meta.Benchmark)
 	hdr = appendString(hdr, meta.EmulatorVersion)
@@ -187,16 +203,7 @@ func NewChunkWriter(w io.Writer, meta Meta) (*ChunkWriter, error) {
 	for _, name := range meta.ObjTypes {
 		hdr = appendString(hdr, name)
 	}
-	cw.rawHdr = hdr
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(hdr))
-	if _, err := cw.w.Write(hdr); err != nil {
-		return nil, err
-	}
-	if _, err := cw.w.Write(crc[:]); err != nil {
-		return nil, err
-	}
-	return cw, nil
+	return hdr, refsOff
 }
 
 // Meta returns the writer's metadata. Refs and PerPE reflect the
@@ -273,7 +280,34 @@ func (cw *ChunkWriter) encodeChunk(refs []Ref) {
 	if cap(cw.enc) < len(refs)*maxEncodedRefBytes {
 		cw.enc = make([]byte, len(refs)*maxEncodedRefBytes)
 	}
-	buf := cw.enc[:cap(cw.enc)]
+	var perPE [256]int64
+	n, err := encodePayload(refs, cw.meta.PEs, cw.enc[:cap(cw.enc)], &perPE)
+	if err != nil {
+		cw.err = err
+		return
+	}
+	for p := 0; p < cw.meta.PEs; p++ {
+		cw.perPE[p] += perPE[p]
+	}
+	enc := cw.enc[:n]
+	frame := chunkFrame(len(refs), enc)
+	if _, err := cw.w.Write(frame); err != nil {
+		cw.err = err
+	} else if _, err := cw.w.Write(enc); err != nil {
+		cw.err = err
+	}
+	cw.total += int64(len(refs))
+}
+
+// encodePayload encodes one chunk's references into buf, which must
+// have room for len(refs)*maxEncodedRefBytes bytes, and returns the
+// encoded length. Delta state (previous address per PE, previous PE)
+// is chunk-local by design — every chunk decodes independently — which
+// is exactly what makes chunks encodable in parallel: the bytes a
+// chunk encodes to depend only on the chunk's own references.
+// Per-reference counts are accumulated into perPE. Shared by
+// ChunkWriter and ParallelChunkWriter.
+func encodePayload(refs []Ref, pes int, buf []byte, perPE *[256]int64) (int, error) {
 	i := 0
 	// Per-PE state lives in stack-local tables indexed by the raw PE
 	// byte: no slice bounds checks, no aliasing with the writer's heap
@@ -283,17 +317,13 @@ func (cw *ChunkWriter) encodeChunk(refs []Ref) {
 	// store (the buffer has maxEncodedRefBytes of slack per reference,
 	// so the wide store never overruns).
 	var prevAddr [256]uint32
-	var perPE [256]int64
 	prevPE := -1
-	pes := cw.meta.PEs
 	for _, r := range refs {
 		if int(r.PE) >= pes {
-			cw.err = fmt.Errorf("trace: reference PE %d outside the declared %d PEs", r.PE, pes)
-			return
+			return 0, fmt.Errorf("trace: reference PE %d outside the declared %d PEs", r.PE, pes)
 		}
 		if r.Obj >= 32 {
-			cw.err = fmt.Errorf("trace: object type %d does not fit the codec's 5-bit field", r.Obj)
-			return
+			return 0, fmt.Errorf("trace: object type %d does not fit the codec's 5-bit field", r.Obj)
 		}
 		tag := byte(r.Obj) << 1
 		if r.Op == OpWrite {
@@ -334,22 +364,19 @@ func (cw *ChunkWriter) encodeChunk(refs []Ref) {
 		buf[i] = byte(u)
 		i++
 	}
-	for p := 0; p < pes; p++ {
-		cw.perPE[p] += perPE[p]
-	}
-	enc := buf[:i]
+	return i, nil
+}
+
+// chunkFrame builds the frame preceding one encoded chunk payload:
+// reference count, payload length, payload CRC.
+func chunkFrame(nrefs int, payload []byte) []byte {
 	frame := make([]byte, 0, 2*binary.MaxVarintLen64+4)
-	frame = appendUvarint(frame, uint64(len(refs)))
-	frame = appendUvarint(frame, uint64(len(enc)))
+	frame = appendUvarint(frame, uint64(nrefs))
+	frame = appendUvarint(frame, uint64(len(payload)))
 	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(enc))
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	frame = append(frame, crc[:]...)
-	if _, err := cw.w.Write(frame); err != nil {
-		cw.err = err
-	} else if _, err := cw.w.Write(enc); err != nil {
-		cw.err = err
-	}
-	cw.total += int64(len(refs))
+	return frame
 }
 
 // Close flushes the partial chunk, writes the end-of-chunks marker and
@@ -370,49 +397,56 @@ func (cw *ChunkWriter) Close() error {
 		cw.err = fmt.Errorf("trace: header declared %d refs, wrote %d", cw.meta.Refs, cw.total)
 		return cw.err
 	}
-	footer := appendUvarint(nil, 0) // end-of-chunks marker
-	body := appendUvarint(nil, uint64(cw.total))
-	body = appendUvarint(body, uint64(len(cw.perPE)))
-	for _, n := range cw.perPE {
-		body = appendUvarint(body, uint64(n))
-	}
-	footer = append(footer, body...)
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
-	footer = append(footer, crc[:]...)
-	if _, err := cw.w.Write(footer); err != nil {
+	if _, err := cw.w.Write(compactFooter(cw.total, cw.perPE)); err != nil {
 		cw.err = err
 		return cw.err
 	}
 	if cw.err = cw.w.Flush(); cw.err != nil {
 		return cw.err
 	}
-	cw.err = cw.patchHeaderCount()
+	cw.err = patchHeaderCount(cw.out, cw.rawHdr, cw.refsOff, cw.meta.Refs, cw.total)
 	return cw.err
+}
+
+// compactFooter builds the stream trailer: the end-of-chunks marker
+// followed by the CRC-protected footer body (total and per-PE counts).
+// Shared by ChunkWriter and ParallelChunkWriter.
+func compactFooter(total int64, perPE []int64) []byte {
+	footer := appendUvarint(nil, 0) // end-of-chunks marker
+	body := appendUvarint(nil, uint64(total))
+	body = appendUvarint(body, uint64(len(perPE)))
+	for _, n := range perPE {
+		body = appendUvarint(body, uint64(n))
+	}
+	footer = append(footer, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(footer, crc[:]...)
 }
 
 // patchHeaderCount back-fills the header's reference count (and its
 // CRC) after a streamed write, when the underlying writer is seekable
 // (a file). On a pure stream the header keeps count zero and readers
-// rely on the footer instead.
-func (cw *ChunkWriter) patchHeaderCount() error {
-	if cw.meta.Refs == cw.total {
+// rely on the footer instead. Shared by ChunkWriter and
+// ParallelChunkWriter.
+func patchHeaderCount(out io.Writer, rawHdr []byte, refsOff int, declared, total int64) error {
+	if declared == total {
 		return nil // header already carries the exact count
 	}
-	ws, ok := cw.out.(io.WriteSeeker)
+	ws, ok := out.(io.WriteSeeker)
 	if !ok {
 		return nil
 	}
-	binary.LittleEndian.PutUint64(cw.rawHdr[cw.refsOff:], uint64(cw.total))
+	binary.LittleEndian.PutUint64(rawHdr[refsOff:], uint64(total))
 	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(cw.rawHdr))
-	if _, err := ws.Seek(int64(cw.refsOff), io.SeekStart); err != nil {
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(rawHdr))
+	if _, err := ws.Seek(int64(refsOff), io.SeekStart); err != nil {
 		return err
 	}
-	if _, err := ws.Write(cw.rawHdr[cw.refsOff : cw.refsOff+8]); err != nil {
+	if _, err := ws.Write(rawHdr[refsOff : refsOff+8]); err != nil {
 		return err
 	}
-	if _, err := ws.Seek(int64(len(cw.rawHdr)), io.SeekStart); err != nil {
+	if _, err := ws.Seek(int64(len(rawHdr)), io.SeekStart); err != nil {
 		return err
 	}
 	if _, err := ws.Write(crc[:]); err != nil {

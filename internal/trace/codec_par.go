@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelChunkWriter encodes a reference stream into the compact
+// chunked format with the encoding and I/O off the producer's
+// goroutine — the bytes produced are identical to ChunkWriter's,
+// guaranteed by construction:
+//
+//   - chunk boundaries depend only on arrival order (every chunk holds
+//     exactly codecChunkRefs references except the final partial one),
+//     and the producer side is single-goroutine, so the partition into
+//     chunks matches the sequential writer's exactly;
+//   - chunk payloads depend only on the chunk's own references (delta
+//     state is chunk-local in the format — see encodePayload), so any
+//     worker can encode any chunk;
+//   - the writer goroutine reorders completed frames by sequence
+//     number and writes them in order;
+//   - the footer's totals are exact sums of per-worker counts
+//     (commutative int64 additions), and header/frame/footer bytes
+//     come from the same helpers the sequential writer uses.
+//
+// The golden SHA-256 byte-parity suite (internal/bench) pins this
+// equivalence on real engine traces, so parallel generation needs no
+// EmulatorVersion or CodecVersion bump.
+//
+// With workers = 1 the pipeline is pure emulate→encode overlap: the
+// producer (the engine's staging-buffer flush) only copies references
+// into chunk buffers, while encoding and writing proceed concurrently
+// on the single worker and the writer goroutine. Higher worker counts
+// add encode parallelism on top. Chunk buffers circulate through a
+// fixed free list, so a fast producer is back-pressured rather than
+// unbounded, and the steady state allocates only transient frame
+// headers.
+//
+// Like every Sink the producer side (Add, AddBatch, Close) is
+// single-goroutine. The stream must be terminated with Close, which
+// drains the pipeline, writes the footer, flushes, and back-patches
+// the header count on a seekable writer.
+type ParallelChunkWriter struct {
+	bw      *bufio.Writer
+	out     io.Writer
+	meta    Meta
+	rawHdr  []byte
+	refsOff int
+
+	chunk []Ref      // staging buffer for the partial chunk
+	free  chan []Ref // circulating chunk buffers (backpressure)
+	jobs  chan encJob
+	ress  chan encResult
+	seq   int64
+	total int64
+
+	workerPE [][256]int64 // per-worker reference counts, merged at Close
+	encWG    sync.WaitGroup
+	wrWG     sync.WaitGroup
+	payloads sync.Pool
+
+	// failed is set by the writer goroutine on the first error so the
+	// producer stops staging work; wErr holds the error itself, read
+	// by Close after the writer goroutine exits.
+	failed atomic.Bool
+	wErr   error
+
+	err    error
+	closed bool
+}
+
+// encJob is one chunk handed to an encode worker. refs is owned by the
+// job until the worker returns it to the free list.
+type encJob struct {
+	seq  int64
+	refs []Ref
+}
+
+// encResult is one encoded chunk, reassembled in seq order by the
+// writer goroutine. payload points into *buf, which returns to the
+// payload pool after the write.
+type encResult struct {
+	seq     int64
+	frame   []byte
+	payload []byte
+	buf     *[]byte
+	err     error
+}
+
+// NewParallelChunkWriter writes the compact header for meta and starts
+// the encode pipeline with the given number of encode workers
+// (workers <= 0 selects GOMAXPROCS). Constraints on meta match
+// NewChunkWriter.
+func NewParallelChunkWriter(w io.Writer, meta Meta, workers int) (*ParallelChunkWriter, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if meta.PEs <= 0 {
+		meta.PEs = 1
+	}
+	if meta.PEs > 256 {
+		return nil, fmt.Errorf("trace: %d PEs exceed the codec's 256-PE limit", meta.PEs)
+	}
+	meta.ObjTypes = currentObjTypeNames()
+	// Chunk buffers in flight: one staging with the producer, up to
+	// nbuf-1 queued or being encoded. Sized so every worker can be busy
+	// while the producer stages ahead, without unbounded memory.
+	nbuf := 2*workers + 2
+	cw := &ParallelChunkWriter{
+		bw:       bufio.NewWriterSize(w, 1<<16),
+		out:      w,
+		meta:     meta,
+		free:     make(chan []Ref, nbuf),
+		jobs:     make(chan encJob, nbuf),
+		ress:     make(chan encResult, nbuf),
+		workerPE: make([][256]int64, workers),
+	}
+	cw.payloads.New = func() any {
+		b := make([]byte, codecChunkRefs*maxEncodedRefBytes)
+		return &b
+	}
+	for i := 0; i < nbuf; i++ {
+		cw.free <- make([]Ref, 0, codecChunkRefs)
+	}
+	cw.rawHdr, cw.refsOff = compactHeader(meta)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(cw.rawHdr))
+	if _, err := cw.bw.Write(cw.rawHdr); err != nil {
+		return nil, err
+	}
+	if _, err := cw.bw.Write(crc[:]); err != nil {
+		return nil, err
+	}
+	// The writer goroutine owns bw from here until Close's wrWG.Wait.
+	cw.encWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go cw.runEncoder(i)
+	}
+	cw.wrWG.Add(1)
+	go cw.runWriter()
+	return cw, nil
+}
+
+// Meta returns the writer's metadata; Refs and PerPE are complete only
+// after Close (before that the pipeline still owns in-flight counts).
+func (cw *ParallelChunkWriter) Meta() Meta {
+	m := cw.meta
+	m.Refs = cw.total
+	perPE := make([]int64, m.PEs)
+	if cw.closed {
+		for w := range cw.workerPE {
+			for p := 0; p < m.PEs; p++ {
+				perPE[p] += cw.workerPE[w][p]
+			}
+		}
+	}
+	m.PerPE = perPE
+	return m
+}
+
+// Add implements Sink.
+func (cw *ParallelChunkWriter) Add(r Ref) {
+	if cw.err != nil {
+		return
+	}
+	if cw.closed {
+		cw.err = fmt.Errorf("trace: ParallelChunkWriter.Add after Close")
+		return
+	}
+	if cw.chunk == nil {
+		cw.chunk = <-cw.free
+	}
+	cw.chunk = append(cw.chunk, r)
+	if len(cw.chunk) == codecChunkRefs {
+		cw.dispatch()
+	}
+}
+
+// AddBatch implements BatchSink: the batch is copied into circulating
+// chunk buffers (ownership of the staged chunk transfers to an encode
+// worker), so per the BatchSink contract the caller's slice is free
+// for reuse the moment AddBatch returns.
+func (cw *ParallelChunkWriter) AddBatch(refs []Ref) {
+	for len(refs) > 0 {
+		if cw.err != nil {
+			return
+		}
+		if cw.closed {
+			cw.err = fmt.Errorf("trace: ParallelChunkWriter.AddBatch after Close")
+			return
+		}
+		if cw.chunk == nil {
+			cw.chunk = <-cw.free
+		}
+		n := codecChunkRefs - len(cw.chunk)
+		if n > len(refs) {
+			n = len(refs)
+		}
+		cw.chunk = append(cw.chunk, refs[:n]...)
+		refs = refs[n:]
+		if len(cw.chunk) == codecChunkRefs {
+			cw.dispatch()
+		}
+	}
+}
+
+// dispatch hands the staged chunk to the encode workers. After the
+// first pipeline error the chunk is recycled instead: the stream is
+// already lost, so feeding more work would only delay Close.
+func (cw *ParallelChunkWriter) dispatch() {
+	chunk := cw.chunk
+	cw.chunk = nil
+	if cw.failed.Load() {
+		cw.free <- chunk[:0]
+		return
+	}
+	cw.total += int64(len(chunk))
+	cw.jobs <- encJob{seq: cw.seq, refs: chunk}
+	cw.seq++
+}
+
+// runEncoder encodes jobs until the jobs channel closes, accumulating
+// reference counts into its own workerPE slot.
+func (cw *ParallelChunkWriter) runEncoder(id int) {
+	defer cw.encWG.Done()
+	for job := range cw.jobs {
+		bp := cw.payloads.Get().(*[]byte)
+		var perPE [256]int64
+		n, err := encodePayload(job.refs, cw.meta.PEs, *bp, &perPE)
+		res := encResult{seq: job.seq, err: err}
+		if err == nil {
+			for p := 0; p < cw.meta.PEs; p++ {
+				cw.workerPE[id][p] += perPE[p]
+			}
+			res.payload = (*bp)[:n]
+			res.buf = bp
+			res.frame = chunkFrame(len(job.refs), res.payload)
+		} else {
+			cw.payloads.Put(bp)
+		}
+		cw.free <- job.refs[:0]
+		cw.ress <- res
+	}
+}
+
+// runWriter reassembles results in sequence order and writes them.
+// All pipeline errors (encode and I/O) funnel through here, in
+// deterministic stream order, so the first error reported is the same
+// one the sequential writer would have hit.
+func (cw *ParallelChunkWriter) runWriter() {
+	defer cw.wrWG.Done()
+	next := int64(0)
+	pending := make(map[int64]encResult)
+	for res := range cw.ress {
+		pending[res.seq] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			cw.writeResult(r)
+		}
+	}
+}
+
+// writeResult writes one in-order frame, or records the first error.
+func (cw *ParallelChunkWriter) writeResult(r encResult) {
+	if cw.wErr == nil {
+		switch {
+		case r.err != nil:
+			cw.setWriteErr(r.err)
+		default:
+			if _, err := cw.bw.Write(r.frame); err != nil {
+				cw.setWriteErr(err)
+			} else if _, err := cw.bw.Write(r.payload); err != nil {
+				cw.setWriteErr(err)
+			}
+		}
+	}
+	if r.buf != nil {
+		cw.payloads.Put(r.buf)
+	}
+}
+
+func (cw *ParallelChunkWriter) setWriteErr(err error) {
+	cw.wErr = err
+	cw.failed.Store(true)
+}
+
+// Close flushes the partial chunk, drains the pipeline, writes the
+// end-of-chunks marker and footer, flushes, and back-patches the
+// header count on a seekable writer — the same epilogue as
+// ChunkWriter.Close, so the trailing bytes are identical. Close is
+// idempotent and reports the first error from any pipeline stage.
+func (cw *ParallelChunkWriter) Close() error {
+	if cw.closed {
+		return cw.err
+	}
+	if cw.chunk != nil && len(cw.chunk) > 0 {
+		cw.dispatch()
+	}
+	cw.closed = true
+	close(cw.jobs)
+	cw.encWG.Wait()
+	close(cw.ress)
+	cw.wrWG.Wait()
+	if cw.err == nil && cw.wErr != nil {
+		cw.err = cw.wErr
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.meta.Refs > 0 && cw.meta.Refs != cw.total {
+		cw.err = fmt.Errorf("trace: header declared %d refs, wrote %d", cw.meta.Refs, cw.total)
+		return cw.err
+	}
+	perPE := make([]int64, cw.meta.PEs)
+	for w := range cw.workerPE {
+		for p := 0; p < cw.meta.PEs; p++ {
+			perPE[p] += cw.workerPE[w][p]
+		}
+	}
+	if _, err := cw.bw.Write(compactFooter(cw.total, perPE)); err != nil {
+		cw.err = err
+		return cw.err
+	}
+	if cw.err = cw.bw.Flush(); cw.err != nil {
+		return cw.err
+	}
+	cw.err = patchHeaderCount(cw.out, cw.rawHdr, cw.refsOff, cw.meta.Refs, cw.total)
+	return cw.err
+}

@@ -293,6 +293,16 @@ func (s *Store) Load(k Key) (*trace.Buffer, trace.Meta, error) {
 // stream; on success the temp file is atomically renamed into place.
 // Any error (from gen or the encoder) leaves the store unchanged.
 func (s *Store) Put(k Key, gen func(trace.Sink) error) (retErr error) {
+	return s.PutWorkers(k, 1, gen)
+}
+
+// PutWorkers is Put with a parallel encoder: workers > 1 stages the
+// stream through trace.ParallelChunkWriter, which encodes RWT2 chunks
+// on that many goroutines (plus a dedicated in-order writer goroutine,
+// overlapping generation with encode and I/O) while producing bytes
+// identical to the sequential encoder — same content address, same
+// golden hashes. workers <= 1 keeps the fully synchronous encoder.
+func (s *Store) PutWorkers(k Key, workers int, gen func(trace.Sink) error) (retErr error) {
 	tmp, err := os.CreateTemp(s.dir, "put-*"+TraceExt+".tmp")
 	if err != nil {
 		return fmt.Errorf("tracestore: %w", err)
@@ -306,19 +316,35 @@ func (s *Store) Put(k Key, gen func(trace.Sink) error) (retErr error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	cw, err := trace.NewChunkWriter(tmp, trace.Meta{
+	meta := trace.Meta{
 		Benchmark:       k.Benchmark,
 		PEs:             k.PEs,
 		Sequential:      k.Sequential,
 		EmulatorVersion: k.EmulatorVersion,
-	})
-	if err != nil {
+	}
+	// Both writer kinds behind one closure pair; the parallel writer
+	// must be Closed even when gen fails, or its pipeline goroutines
+	// leak.
+	var sink trace.Sink
+	var closeWriter func() error
+	if workers > 1 {
+		cw, err := trace.NewParallelChunkWriter(tmp, meta, workers)
+		if err != nil {
+			return err
+		}
+		sink, closeWriter = cw, cw.Close
+	} else {
+		cw, err := trace.NewChunkWriter(tmp, meta)
+		if err != nil {
+			return err
+		}
+		sink, closeWriter = cw, cw.Close
+	}
+	if err := gen(sink); err != nil {
+		closeWriter()
 		return err
 	}
-	if err := gen(cw); err != nil {
-		return err
-	}
-	if err := cw.Close(); err != nil {
+	if err := closeWriter(); err != nil {
 		return err
 	}
 	if err := tmp.Close(); err != nil {

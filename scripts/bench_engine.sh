@@ -12,7 +12,9 @@ set -eu
 
 out="${1:-BENCH_engine.json}"
 count="${BENCH_COUNT:-1}"
-filter="${BENCH_FILTER:-BenchmarkEngineRun|BenchmarkTraceGeneration}"
+# (BenchmarkTraceGeneration is anchored: the TraceGenerationWorkers
+# scaling benchmark belongs to scripts/bench_replay.sh.)
+filter="${BENCH_FILTER:-BenchmarkEngineRun|BenchmarkTraceGeneration$}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 

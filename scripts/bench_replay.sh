@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_replay.sh — run the intra-cell parallelism benchmarks
+# (set-sharded cache replay at 1/2/4/8 shards, and pipelined trace
+# generation at 1/2/4 encode workers) and record the result as
+# BENCH_replay.json, so the deterministic-parallelism speedups are
+# captured per PR next to the engine and cache numbers. Both paths are
+# bit-identical to their sequential counterparts at every worker
+# count, so these numbers are pure wall-clock, not accuracy trades.
+#
+# Usage: scripts/bench_replay.sh [output.json]
+#   BENCH_COUNT=N   repetitions per benchmark (default 1)
+#   BENCH_FILTER=RE benchmarks to run (default the replay suite)
+set -eu
+
+out="${1:-BENCH_replay.json}"
+count="${BENCH_COUNT:-1}"
+filter="${BENCH_FILTER:-BenchmarkShardedReplay|BenchmarkTraceGenerationWorkers}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+{
+    go test -run '^$' -bench "$filter" -benchmem -count "$count" ./internal/cache
+    go test -run '^$' -bench "$filter" -benchmem -count "$count" ./internal/bench
+} > "$tmp" || {
+    status=$?
+    cat "$tmp"
+    echo "bench_replay.sh: go test -bench failed" >&2
+    exit "$status"
+}
+cat "$tmp"
+
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { printf "[" }
+$1 ~ /^Benchmark/ {
+    if (n++) printf ","
+    printf "\n  {\"name\":\"%s\",\"iterations\":%s", $1, $2
+    # remaining fields come in value/unit pairs (ns/op, MB/s, refs/s, B/op, allocs/op, ...)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]+/, "_", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    printf ",\"go\":\"%s\"}", goversion
+}
+END { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"

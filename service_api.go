@@ -35,6 +35,12 @@ type ServeConfig struct {
 	// Parallelism bounds the experiments grid worker pool (0 keeps the
 	// current setting).
 	Parallelism int
+	// Shards sets intra-cell parallelism — set-shard replay workers
+	// per cache configuration and trace-generation encode workers —
+	// within the grid's shared worker budget (0 keeps the current
+	// setting, negative selects GOMAXPROCS). Results are bit-identical
+	// at any setting; see SetShards.
+	Shards int
 	// DrainTimeout bounds graceful shutdown (default 5s). Shutdown is
 	// normally much faster: cancelling the serve context also cancels
 	// every in-flight request's computation.
@@ -58,6 +64,7 @@ func NewService(cfg ServeConfig) (*Service, error) {
 		ResultDir:   cfg.ResultDir,
 		TraceDir:    cfg.TraceDir,
 		Parallelism: cfg.Parallelism,
+		Shards:      cfg.Shards,
 		Log:         cfg.Log,
 	})
 	if err != nil {
