@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	rapwamd -results results [-tracedir traces] [-addr :8080] [-par N] [-shards K] [-v]
+//	rapwamd -results results [-tracedir traces] [-addr :8080] [-par N] [-shards K]
+//	        [-max-computes N] [-max-queue N] [-compute-timeout D]
+//	        [-scrub D] [-sweep-age D] [-chaos SPEC] [-v]
 //
 // Endpoints (see docs/API.md for parameters and cache-key semantics):
 //
@@ -22,6 +24,16 @@
 // later requests — including after a restart over the same -results
 // directory — are served from the cache byte-identically with zero
 // emulator runs.
+//
+// Overload and failure behavior: -max-computes bounds concurrent cold
+// computations (cache hits are never throttled) with a bounded queue
+// beyond it — overflow is shed with 429 + Retry-After; -compute-timeout
+// caps a single computation's wall clock (504 on expiry); corrupt
+// cache or trace objects are quarantined on read and transparently
+// recomputed ("corruption costs latency, never correctness"); -scrub
+// runs that verification proactively in the background; and -chaos
+// wraps both stores in a deterministic fault injector for testing,
+// e.g. -chaos seed=7,readerr=0.1,writeerr=0.05,bitflip=0.05.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the cancellation
 // reaches in-flight grid computations (and the emulator's instruction
@@ -59,11 +71,21 @@ func main() {
 		par       = cliflag.Par(flag.CommandLine)
 		shards    = cliflag.Shards(flag.CommandLine)
 		drain     = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+		computes  = flag.Int("max-computes", 0, "max concurrent experiment computations (0 = unlimited; cache hits are never throttled)")
+		queue     = flag.Int("max-queue", 0, "max cold requests queued for a compute slot before shedding with 429 (0 = 4×max-computes)")
+		budget    = flag.Duration("compute-timeout", 0, "per-computation wall-clock budget, 504 on expiry (0 = none)")
+		scrub     = flag.Duration("scrub", 0, "background scrub period: verify both stores, quarantine corruption, sweep temps (0 = off)")
+		sweepAge  = flag.Duration("sweep-age", time.Hour, "age past which stale temp files and quarantined objects are swept")
+		chaos     = flag.String("chaos", "", "fault-injection spec wrapping both stores, e.g. seed=7,readerr=0.1,bitflip=0.05 (testing only)")
 		verbose   = flag.Bool("v", false, "log requests and computations on stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: rapwamd [-addr :8080] [-results DIR] [-tracedir DIR] [-par N] [-shards K] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: rapwamd [-addr :8080] [-results DIR] [-tracedir DIR] [-par N] [-shards K] [-max-computes N] [-max-queue N] [-compute-timeout D] [-scrub D] [-sweep-age D] [-chaos SPEC] [-v]")
+		os.Exit(2)
+	}
+	if *computes < 0 || *queue < 0 {
+		fmt.Fprintln(os.Stderr, "rapwamd: -max-computes and -max-queue must be >= 0")
 		os.Exit(2)
 	}
 	parN := resolveWorkers("par", *par)
@@ -73,12 +95,21 @@ func main() {
 	defer stopSignals()
 
 	cfg := rapwam.ServeConfig{
-		Addr:         *addr,
-		ResultDir:    *resultDir,
-		TraceDir:     *traceDir,
-		Parallelism:  parN,
-		Shards:       shardsN,
-		DrainTimeout: *drain,
+		Addr:           *addr,
+		ResultDir:      *resultDir,
+		TraceDir:       *traceDir,
+		Parallelism:    parN,
+		Shards:         shardsN,
+		MaxComputes:    *computes,
+		MaxQueue:       *queue,
+		ComputeTimeout: *budget,
+		StaleTempAge:   *sweepAge,
+		ScrubInterval:  *scrub,
+		Chaos:          *chaos,
+		DrainTimeout:   *drain,
+	}
+	if *chaos != "" {
+		fmt.Fprintf(os.Stderr, "rapwamd: CHAOS MODE: injecting storage faults (%s)\n", *chaos)
 	}
 	if *verbose {
 		cfg.Log = func(msg string) { fmt.Fprintf(os.Stderr, "rapwamd: %s\n", msg) }

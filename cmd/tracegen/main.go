@@ -7,7 +7,7 @@
 //	tracegen generate -tracedir DIR [-bench LIST] [-pes LIST] [-mode auto|par|seq] [-par N] [-shards K] [-v]
 //	tracegen ls       -tracedir DIR
 //	tracegen inspect  -tracedir DIR | file.rwt2...
-//	tracegen verify   -tracedir DIR | file.rwt2...
+//	tracegen verify   -tracedir DIR [-repair] | file.rwt2...
 //
 // generate accepts -cpuprofile/-memprofile to capture pprof profiles
 // of bulk generation (the emulator + codec hot path):
@@ -79,7 +79,7 @@ func usage() {
   tracegen generate -tracedir DIR [-bench LIST] [-pes LIST] [-mode auto|par|seq] [-par N] [-shards K] [-v]
   tracegen ls       -tracedir DIR
   tracegen inspect  -tracedir DIR | file.rwt2...
-  tracegen verify   -tracedir DIR | file.rwt2...`)
+  tracegen verify   -tracedir DIR [-repair] | file.rwt2...`)
 	os.Exit(2)
 }
 
@@ -358,7 +358,15 @@ func printEntries(entries []rapwam.TraceStoreEntry, deep bool) {
 func cmdVerify(args []string) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("tracedir", "", "trace store directory")
+	repair := fs.Bool("repair", false, "scrub mode: quarantine corrupt objects and regenerate them (requires -tracedir)")
 	fs.Parse(args)
+	if *repair {
+		if *dir == "" || fs.NArg() != 0 {
+			usage()
+		}
+		cmdRepair(*dir)
+		return
+	}
 	var errs []error
 	var checked int
 	if *dir != "" {
@@ -391,4 +399,50 @@ func cmdVerify(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%d traces checked, all clean\n", checked)
+}
+
+// cmdRepair is verify -repair: a full scrub (every object decoded and
+// checked against its content address; failures moved to quarantine/)
+// followed by regeneration of the quarantined cells that belong to
+// this build's benchmarks and emulator version. Foreign cells stay
+// quarantined for inspection.
+func cmdRepair(dir string) {
+	store, err := rapwam.SetTraceDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	rep := store.Scrub()
+	for _, err := range rep.Errors {
+		fmt.Fprintln(os.Stderr, "tracegen: scrub:", err)
+	}
+	for _, name := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "tracegen: quarantined %s\n", name)
+	}
+	var targets []rapwam.TraceTarget
+	var skipped int
+	for _, k := range rep.Recoverable {
+		b, ok := rapwam.BenchmarkByName(k.Benchmark)
+		if !ok || k.EmulatorVersion != rapwam.EmulatorVersion() {
+			skipped++
+			fmt.Fprintf(os.Stderr, "tracegen: cannot regenerate %v (unknown benchmark or foreign emulator version)\n", k)
+			continue
+		}
+		targets = append(targets, rapwam.TraceTarget{Benchmark: b, PEs: k.PEs, Sequential: k.Sequential})
+	}
+	if len(targets) > 0 {
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		if err := rapwam.GenerateTraces(ctx, targets); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%d traces scrubbed, %d quarantined, %d regenerated, %d unrecoverable\n",
+		rep.Checked, len(rep.Quarantined), len(targets), skipped)
+	// Corruption that was quarantined AND regenerated is a successful
+	// repair, not a failure. Exit nonzero only for what repair could
+	// not fix: unrecoverable cells, or scrub errors beyond the
+	// quarantined objects themselves (e.g. transient backend faults).
+	if skipped > 0 || len(rep.Errors) > len(rep.Quarantined) {
+		os.Exit(1)
+	}
 }

@@ -218,34 +218,6 @@ func Run(ctx context.Context, b Benchmark, cfg RunConfig) (*core.Result, error) 
 	return res, nil
 }
 
-// Trace returns the benchmark's full memory-reference trace, running
-// the emulator to generate it. With a persistent store attached
-// (SetTraceStore) the store is consulted first: a hit decodes the
-// stored trace instead of re-running the emulator (and returns a nil
-// run result, since no run happened), and a miss generates through the
-// store so the next caller hits. Callers that want to stream
-// references instead of buffering them pass their own Sink via
-// RunConfig; callers that should never materialize the trace replay it
-// from the store (tracestore.Store.Replay) instead.
-func Trace(ctx context.Context, b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, error) {
-	if s := TraceStore(); s != nil {
-		if _, err := EnsureStored(ctx, b, pes, sequential); err != nil {
-			return nil, nil, err
-		}
-		buf, _, err := s.Load(StoreKey(b.Name, pes, sequential))
-		if err != nil {
-			return nil, nil, err
-		}
-		return buf, nil, nil
-	}
-	buf := trace.NewBuffer(1 << 20)
-	res, err := Run(ctx, b, RunConfig{PEs: pes, Sequential: sequential, Sink: buf})
-	if err != nil {
-		return nil, nil, err
-	}
-	return buf, res, nil
-}
-
 func expectSuccess(res *core.Result) error {
 	if !res.Success {
 		return fmt.Errorf("query failed")

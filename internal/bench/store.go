@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 )
@@ -38,23 +39,23 @@ func ResetEngineRuns() { engineRuns.Store(0) }
 var traceStoreP atomic.Pointer[tracestore.Store]
 
 // cellFlights single-flights concurrent generation of the same cell.
+// Flights are removed on completion — success lives on in the store
+// itself (the next caller's Has check hits), and failures are never
+// memoized, so a quarantined or lost cell regenerates on the next
+// call instead of replaying a stale error forever. The memo that made
+// "stored" permanent in-process is gone on purpose: the store is the
+// source of truth now, which is what lets self-healing reads work.
 var cellFlights sync.Map // tracestore.Key -> *cellFlight
 
 type cellFlight struct {
-	once sync.Once
+	done chan struct{}
 	err  error
 }
 
 // SetTraceStore attaches (or, with nil, detaches) the persistent trace
-// store consulted by Trace and EnsureStored. Attaching a store resets
-// the in-process generation dedup, so a store swapped mid-process is
-// consulted afresh.
+// store consulted by Trace and EnsureStored.
 func SetTraceStore(s *tracestore.Store) {
 	traceStoreP.Store(s)
-	cellFlights.Range(func(k, _ any) bool {
-		cellFlights.Delete(k)
-		return true
-	})
 }
 
 // TraceStore returns the attached persistent trace store (nil if none).
@@ -119,40 +120,136 @@ type RunRecord struct {
 // ctx governs the engine run, so every waiter on a cancelled flight
 // observes the context error. It returns the cell's key. Calling
 // EnsureStored with no store attached is an error.
+//
+// Failures are not memoized: the next call re-checks the store and
+// regenerates, which is how a cell quarantined by a corrupt read comes
+// back. Callers that keep looping on a persistently failing cell are
+// expected to bound their own retries (the experiments grid does).
 func EnsureStored(ctx context.Context, b Benchmark, pes int, sequential bool) (tracestore.Key, error) {
 	s := TraceStore()
 	k := StoreKey(b.Name, pes, sequential)
 	if s == nil {
 		return k, errNoStore
 	}
-	v, _ := cellFlights.LoadOrStore(k, &cellFlight{})
-	f := v.(*cellFlight)
-	f.once.Do(func() {
-		if s.Has(k) {
-			return
+	for {
+		f := &cellFlight{done: make(chan struct{})}
+		if v, loaded := cellFlights.LoadOrStore(k, f); loaded {
+			// Someone else is generating this cell; wait them out,
+			// then re-check the store (their failure is not ours to
+			// inherit — a cancelled or faulted generation must not
+			// poison callers with live contexts).
+			other := v.(*cellFlight)
+			select {
+			case <-other.done:
+				if other.err == nil {
+					return k, nil
+				}
+				if ctx.Err() != nil {
+					return k, ctx.Err()
+				}
+				// Their generation failed; loop and try ourselves.
+				continue
+			case <-ctx.Done():
+				return k, ctx.Err()
+			}
 		}
-		var res *core.Result
-		f.err = s.PutWorkers(k, GenWorkers(), func(sink trace.Sink) error {
-			r, err := Run(ctx, b, RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
-			res = r
-			return err
-		})
-		if f.err == nil {
-			f.err = s.PutSidecar(k, RunRecord{Success: res.Success, Stats: res.Stats, Refs: *res.Refs})
-		}
-	})
-	if f.err != nil {
-		// A cancelled generation must not poison the flight memo: drop
-		// the entry so the next caller (with a live context) retries.
-		// Real failures stay — a missing benchmark or full disk will
-		// fail again; callers see the original error either way.
-		if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
-			cellFlights.CompareAndDelete(k, v)
-		}
+		f.err = generateCell(ctx, s, k, b, pes, sequential)
+		cellFlights.Delete(k)
+		close(f.done)
 		return k, f.err
 	}
-	return k, nil
+}
+
+// generateCell performs one store-check + generation for a cell.
+func generateCell(ctx context.Context, s *tracestore.Store, k tracestore.Key, b Benchmark, pes int, sequential bool) error {
+	if s.Has(k) {
+		return nil
+	}
+	var res *core.Result
+	err := s.PutWorkers(k, GenWorkers(), func(sink trace.Sink) error {
+		r, err := Run(ctx, b, RunConfig{PEs: pes, Sequential: sequential, Sink: sink})
+		res = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return s.PutSidecar(k, RunRecord{Success: res.Success, Stats: res.Stats, Refs: *res.Refs})
 }
 
 // errNoStore reports EnsureStored use without an attached store.
 var errNoStore = errors.New("bench: no trace store attached (SetTraceStore)")
+
+// traceHealAttempts bounds how many times Trace retries a cell whose
+// stored copy keeps failing before degrading to a direct run.
+const traceHealAttempts = 3
+
+// TraceDirect generates the benchmark's full memory-reference trace
+// with one emulator run, bypassing any attached store — the degraded
+// path when storage is unavailable, and the only path when no store is
+// attached.
+func TraceDirect(ctx context.Context, b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, error) {
+	buf := trace.NewBuffer(1 << 20)
+	res, err := Run(ctx, b, RunConfig{PEs: pes, Sequential: sequential, Sink: buf})
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, res, nil
+}
+
+// Trace returns the benchmark's full memory-reference trace, running
+// the emulator to generate it. With a persistent store attached
+// (SetTraceStore) the store is consulted first: a hit decodes the
+// stored trace instead of re-running the emulator (and returns a nil
+// run result, since no run happened), and a miss generates through the
+// store so the next caller hits.
+//
+// Store failures self-heal: a corrupt stored trace is quarantined by
+// the read (tracestore.CorruptError reads as a miss), so the retry
+// regenerates it; transient backend errors retry too; and if the store
+// keeps failing, Trace degrades to a direct in-memory run (marking the
+// context's degraded flag) — storage trouble costs latency, never an
+// answer. Callers that want to stream references instead of buffering
+// them pass their own Sink via RunConfig; callers that should never
+// materialize the trace replay it from the store
+// (tracestore.Store.Replay) instead.
+func Trace(ctx context.Context, b Benchmark, pes int, sequential bool) (*trace.Buffer, *core.Result, error) {
+	s := TraceStore()
+	if s == nil {
+		return TraceDirect(ctx, b, pes, sequential)
+	}
+	var lastErr error
+	for attempt := 0; attempt < traceHealAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if _, lastErr = EnsureStored(ctx, b, pes, sequential); lastErr != nil {
+			if storage.AsBackendError(lastErr) {
+				continue // transient or backend-side: retry, then degrade
+			}
+			return nil, nil, lastErr
+		}
+		buf, _, err := s.Load(StoreKey(b.Name, pes, sequential))
+		if err == nil {
+			return buf, nil, nil
+		}
+		lastErr = err
+		// Corrupt loads quarantined the object (a miss now) and
+		// transient errors deserve another try; anything else falls
+		// through to the degraded path below.
+		if !tracestore.IsCorrupt(err) && !storage.AsBackendError(err) && !errors.Is(err, context.Canceled) {
+			break
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	// The store would not yield this cell; compute without it rather
+	// than fail the caller. The flag makes the bypass visible
+	// (X-Degraded at the serving layer).
+	storage.MarkDegraded(ctx, "trace-store")
+	return TraceDirect(ctx, b, pes, sequential)
+}

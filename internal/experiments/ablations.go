@@ -8,6 +8,7 @@ import (
 	"repro/internal/busmodel"
 	"repro/internal/cache"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -184,22 +185,55 @@ func RunBusDES(ctx context.Context, benchName string, pes, cacheWords int, busWo
 	}
 	// The DES needs the bus-transaction event stream in global order, so
 	// this one replay stays sequential (a single OnBus observer); with a
-	// store attached it streams from the stored trace.
-	var events []busmodel.Event
-	sim := cache.New(cache.Config{
-		PEs: pes, SizeWords: cacheWords, LineWords: 4,
-		Protocol:      cache.WriteInBroadcast,
-		WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, cacheWords),
-	})
-	sim.OnBus = func(pe, words int, refIndex int64) {
-		// The reference index divided by the PE count approximates the
-		// per-PE clock of the interleaved machine.
-		events = append(events, busmodel.Event{
-			PE: pe, Time: float64(refIndex) / float64(pes), Words: words,
+	// store attached it streams from the stored trace. A mid-replay
+	// failure leaves sim and events partially fed, so every heal attempt
+	// recreates both before replaying again; a store that keeps failing
+	// degrades to a direct in-memory trace (marking the context
+	// degraded) — bit-identical events either way.
+	var (
+		events []busmodel.Event
+		sim    *cache.Sim
+	)
+	fresh := func() {
+		events = nil
+		sim = cache.New(cache.Config{
+			PEs: pes, SizeWords: cacheWords, LineWords: 4,
+			Protocol:      cache.WriteInBroadcast,
+			WriteAllocate: cache.PaperWriteAllocate(cache.WriteInBroadcast, cacheWords),
 		})
+		sim.OnBus = func(pe, words int, refIndex int64) {
+			// The reference index divided by the PE count approximates
+			// the per-PE clock of the interleaved machine.
+			events = append(events, busmodel.Event{
+				PE: pe, Time: float64(refIndex) / float64(pes), Words: words,
+			})
+		}
 	}
-	if err := replayCell(ctx, b, pes, pes == 1, sim); err != nil {
-		return nil, err
+	var replayErr error
+	for attempt := 0; attempt < storeHealAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fresh()
+		if replayErr = replayCell(ctx, b, pes, pes == 1, sim); replayErr == nil {
+			break
+		}
+		if !storeHealable(replayErr) {
+			return nil, replayErr
+		}
+	}
+	if replayErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		storage.MarkDegraded(ctx, "trace-store")
+		progress("bus DES for %s @ %d PEs degrading to direct run: %v", benchName, pes, replayErr)
+		buf, err := cachedTrace(ctx, b, pes, pes == 1, true)
+		if err != nil {
+			return nil, err
+		}
+		fresh()
+		buf.ReplayAll(sim)
 	}
 
 	des, _, err := busmodel.Simulate(events, pes, busWordsPerCycle)

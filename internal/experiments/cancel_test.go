@@ -70,10 +70,10 @@ func TestCachedTraceEvictsCancelledEntry(t *testing.T) {
 	b, _ := bench.ByName("deriv-12")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := cachedTrace(ctx, b, 2, false); !errors.Is(err, context.Canceled) {
+	if _, err := cachedTrace(ctx, b, 2, false, false); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cachedTrace with cancelled ctx: err = %v, want context.Canceled", err)
 	}
-	buf, err := cachedTrace(context.Background(), b, 2, false)
+	buf, err := cachedTrace(context.Background(), b, 2, false, false)
 	if err != nil {
 		t.Fatalf("cachedTrace after cancelled attempt: %v", err)
 	}

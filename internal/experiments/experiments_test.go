@@ -197,7 +197,7 @@ func TestUpdateBroadcastCloseToWriteIn(t *testing.T) {
 	// almost identical to those of the write-in broadcast cache, an
 	// indication that communication traffic in RAP-WAM is low."
 	b, _ := benchByName(t, "qsort")
-	buf, err := cachedTrace(context.Background(), b, 8, false)
+	buf, err := cachedTrace(context.Background(), b, 8, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 )
@@ -173,11 +174,30 @@ func runGrid(ctx context.Context, n int, fn func(i int) error) error {
 	return nil
 }
 
-// traceKey identifies one memoized engine run.
+// storeHealAttempts bounds how many times a grid path retries a
+// store-backed cell that keeps failing (corrupt reads quarantine and
+// regenerate; transient backend errors just retry) before degrading to
+// a direct in-memory run.
+const storeHealAttempts = 3
+
+// storeHealable reports whether a store-path failure is worth
+// retrying/degrading around: quarantined corruption (the retry
+// regenerates the cell) or a backend-side storage failure (the
+// degraded direct path bypasses it). Everything else — a failing
+// benchmark, cancellation — propagates.
+func storeHealable(err error) bool {
+	return tracestore.IsCorrupt(err) || storage.AsBackendError(err)
+}
+
+// traceKey identifies one memoized engine run. direct marks buffers
+// generated bypassing the store (the degraded path) — kept distinct so
+// a recovered store never serves a slot filled during an outage and
+// vice versa.
 type traceKey struct {
 	bench      string
 	pes        int
 	sequential bool
+	direct     bool
 }
 
 // traceEntry is a once-filled memo slot.
@@ -198,12 +218,18 @@ var traces sync.Map // traceKey -> *traceEntry
 // ctx governs that run). A cancelled generation is evicted from the
 // memo rather than cached, so a later sweep with a live context
 // regenerates the cell instead of replaying the stale context error.
-func cachedTrace(ctx context.Context, b bench.Benchmark, pes int, sequential bool) (*trace.Buffer, error) {
-	key := traceKey{b.Name, pes, sequential}
+// direct bypasses any attached store (bench.TraceDirect) — the
+// degraded path when storage keeps failing.
+func cachedTrace(ctx context.Context, b bench.Benchmark, pes int, sequential, direct bool) (*trace.Buffer, error) {
+	key := traceKey{b.Name, pes, sequential, direct}
 	v, _ := traces.LoadOrStore(key, &traceEntry{})
 	e := v.(*traceEntry)
 	e.once.Do(func() {
-		e.buf, _, e.err = bench.Trace(ctx, b, pes, sequential)
+		if direct {
+			e.buf, _, e.err = bench.TraceDirect(ctx, b, pes, sequential)
+		} else {
+			e.buf, _, e.err = bench.Trace(ctx, b, pes, sequential)
+		}
 		if e.err == nil {
 			progress("traced %s @ %d PEs (%d refs)", b.Name, pes, e.buf.Len())
 		}
@@ -258,7 +284,7 @@ func replayCell(ctx context.Context, b bench.Benchmark, pes int, sequential bool
 		f.Close()
 		return err
 	}
-	buf, err := cachedTrace(ctx, b, pes, sequential)
+	buf, err := cachedTrace(ctx, b, pes, sequential, false)
 	if err != nil {
 		return err
 	}
@@ -269,36 +295,61 @@ func replayCell(ctx context.Context, b bench.Benchmark, pes int, sequential bool
 // runStats returns the engine statistics and Table 1 reference counter
 // for one cell. With a store attached it is served from the cell's run
 // sidecar (generating the cell on first need); otherwise it runs the
-// emulator.
+// emulator. Store failures heal: corrupt cells are quarantined by the
+// read and regenerated on retry, transient backend errors retry, and a
+// store that keeps failing is bypassed with a direct engine run
+// (marking the context degraded) — the statistics are a pure function
+// of the cell, so the answer is identical either way.
 func runStats(ctx context.Context, b bench.Benchmark, pes int, sequential bool) (core.Stats, *trace.Counter, error) {
-	s := activeStore()
-	var k tracestore.Key
-	if s != nil {
-		var err error
-		if k, err = bench.EnsureStored(ctx, b, pes, sequential); err != nil {
+	if s := activeStore(); s != nil {
+		var lastErr error
+	heal:
+		for attempt := 0; attempt < storeHealAttempts; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return core.Stats{}, nil, err
+			}
+			k, err := bench.EnsureStored(ctx, b, pes, sequential)
+			if err != nil {
+				if storeHealable(err) {
+					lastErr = err
+					continue heal
+				}
+				return core.Stats{}, nil, err
+			}
+			var rec bench.RunRecord
+			ok, err := s.LoadSidecar(k, &rec)
+			if err != nil {
+				if storeHealable(err) {
+					lastErr = err
+					continue heal
+				}
+				return core.Stats{}, nil, err
+			}
+			if ok {
+				return rec.Stats, &rec.Refs, nil
+			}
+			// Trace present but sidecar absent (foreign store, or just
+			// quarantined as corrupt): run directly and repair the
+			// sidecar so the next query is served from the store again
+			// (best effort: the stats themselves are good).
+			res, err := bench.Run(ctx, b, bench.RunConfig{PEs: pes, Sequential: sequential})
+			if err != nil {
+				return core.Stats{}, nil, err
+			}
+			if err := s.PutSidecar(k, bench.RunRecord{Success: res.Success, Stats: res.Stats, Refs: *res.Refs}); err != nil {
+				progress("sidecar repair for %v failed: %v", k, err)
+			}
+			return res.Stats, res.Refs, nil
+		}
+		if err := ctx.Err(); err != nil {
 			return core.Stats{}, nil, err
 		}
-		var rec bench.RunRecord
-		ok, err := s.LoadSidecar(k, &rec)
-		if err != nil {
-			return core.Stats{}, nil, err
-		}
-		if ok {
-			return rec.Stats, &rec.Refs, nil
-		}
-		// Trace present but sidecar absent (foreign or interrupted
-		// store write): fall through to a direct run.
+		storage.MarkDegraded(ctx, "trace-store")
+		progress("stats for %s @ %d PEs degrading to direct run: %v", b.Name, pes, lastErr)
 	}
 	res, err := bench.Run(ctx, b, bench.RunConfig{PEs: pes, Sequential: sequential})
 	if err != nil {
 		return core.Stats{}, nil, err
-	}
-	if s != nil {
-		// Repair the missing sidecar so the next query is served from
-		// the store again (best effort: the stats themselves are good).
-		if err := s.PutSidecar(k, bench.RunRecord{Success: res.Success, Stats: res.Stats, Refs: *res.Refs}); err != nil {
-			progress("sidecar repair for %v failed: %v", k, err)
-		}
 	}
 	return res.Stats, res.Refs, nil
 }
@@ -340,17 +391,48 @@ func GenerateTraces(ctx context.Context, targets []TraceTarget) error {
 // a store attached the pass streams from disk. Each configuration is
 // additionally set-sharded across Shards() workers when its geometry
 // allows (bit-identical either way).
+//
+// Store failures heal here, not inside replayCell, because a mid-stream
+// failure leaves the simulators partially fed: each retry calls
+// SimulateAllStreamShards again so every attempt gets fresh simulator
+// state. A corrupt stored trace quarantines on the failing read and the
+// retry regenerates it; if the store keeps failing, the cell degrades
+// to a direct in-memory run (marking the context degraded) — identical
+// results, just without persistence.
 func simulateAll(ctx context.Context, b bench.Benchmark, pes int, sequential bool, cfgs []cache.Config) ([]cache.Stats, error) {
 	if activeStore() == nil {
-		buf, err := cachedTrace(ctx, b, pes, sequential)
+		buf, err := cachedTrace(ctx, b, pes, sequential, false)
 		if err != nil {
 			return nil, err
 		}
 		return cache.SimulateAllShards(buf, cfgs, Shards())
 	}
-	return cache.SimulateAllStreamShards(cfgs, Shards(), func(sinks []trace.Sink) error {
-		return replayCell(ctx, b, pes, sequential, sinks...)
-	})
+	var lastErr error
+	for attempt := 0; attempt < storeHealAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st, err := cache.SimulateAllStreamShards(cfgs, Shards(), func(sinks []trace.Sink) error {
+			return replayCell(ctx, b, pes, sequential, sinks...)
+		})
+		if err == nil {
+			return st, nil
+		}
+		if !storeHealable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	storage.MarkDegraded(ctx, "trace-store")
+	progress("simulating %s @ %d PEs degrading to direct run: %v", b.Name, pes, lastErr)
+	buf, err := cachedTrace(ctx, b, pes, sequential, true)
+	if err != nil {
+		return nil, err
+	}
+	return cache.SimulateAllShards(buf, cfgs, Shards())
 }
 
 // protocolRatios computes each benchmark's write-in broadcast traffic

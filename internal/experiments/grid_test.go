@@ -31,7 +31,7 @@ func TestFanOutReplayBitIdenticalToSequential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		b, _ := benchByName(t, tc.bench)
-		buf, err := cachedTrace(context.Background(), b, tc.pes, tc.pes == 1)
+		buf, err := cachedTrace(context.Background(), b, tc.pes, tc.pes == 1, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,18 +110,18 @@ func TestRunGridPropagatesError(t *testing.T) {
 
 func TestCachedTraceMemoizes(t *testing.T) {
 	b, _ := benchByName(t, "deriv")
-	first, err := cachedTrace(context.Background(), b, 1, true)
+	first, err := cachedTrace(context.Background(), b, 1, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	again, err := cachedTrace(context.Background(), b, 1, true)
+	again, err := cachedTrace(context.Background(), b, 1, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first != again {
 		t.Error("same (benchmark, PEs, sequential) key re-traced")
 	}
-	other, err := cachedTrace(context.Background(), b, 2, false)
+	other, err := cachedTrace(context.Background(), b, 2, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestCachedTraceMemoizes(t *testing.T) {
 		t.Error("distinct keys shared a trace")
 	}
 	ResetTraceCache()
-	fresh, err := cachedTrace(context.Background(), b, 1, true)
+	fresh, err := cachedTrace(context.Background(), b, 1, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}

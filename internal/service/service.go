@@ -7,23 +7,33 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// ResultDir roots the content-addressed result cache (required).
+	// ResultDir roots the content-addressed result cache (required
+	// unless ResultBackend is set).
 	ResultDir string
 	// TraceDir optionally attaches a persistent trace store, so cold
 	// experiment computations reuse (and warm) stored traces.
 	TraceDir string
+	// ResultBackend / TraceBackend, when non-nil, override the
+	// directory backends — in-memory backends for tests, fault
+	// wrappers for chaos runs, networked backends later. A non-nil
+	// TraceBackend attaches a trace store even when TraceDir is "".
+	ResultBackend storage.Backend
+	TraceBackend  storage.Backend
 	// Parallelism bounds the experiments grid worker pool (0 keeps the
 	// current setting).
 	Parallelism int
@@ -33,14 +43,32 @@ type Config struct {
 	// negative selects GOMAXPROCS). Results are bit-identical at any
 	// setting.
 	Shards int
+	// MaxComputes caps concurrent experiment computations (flights);
+	// 0 means unlimited. Cache hits are never throttled.
+	MaxComputes int
+	// MaxQueue caps cold requests waiting for a compute slot; beyond
+	// it requests shed with 429 + Retry-After. 0 defaults to
+	// 4×MaxComputes. Ignored when MaxComputes is 0.
+	MaxQueue int
+	// ComputeTimeout bounds each computation's wall-clock time;
+	// expiry returns 504. 0 means no per-compute deadline.
+	ComputeTimeout time.Duration
+	// StaleTempAge is the age past which temp-file droppings (and
+	// aged quarantined objects) are swept at open and by the
+	// background scrubber; 0 selects tracestore.StaleTempAge (1h).
+	StaleTempAge time.Duration
+	// ScrubInterval, when positive, runs a background scrub loop
+	// (Server.Scrub: full verification of both stores, quarantining
+	// what fails, plus a temp sweep) at that period under Serve.
+	ScrubInterval time.Duration
 	// Log, when non-nil, receives one line per notable server event
-	// (startup, compute begin/end, cache write failures).
+	// (startup, compute begin/end, cache write failures, scrubs).
 	Log func(msg string)
 }
 
 // Server is the experiment results service: an http.Handler serving
-// the /v1 API over the result cache, single-flight group and
-// experiments grid.
+// the /v1 API over the result cache, admission gate, single-flight
+// group and experiments grid.
 type Server struct {
 	cfg     Config
 	cache   *ResultCache
@@ -53,6 +81,13 @@ type Server struct {
 	errors   atomic.Int64
 	inflight atomic.Int64
 	computes atomic.Int64
+	timeouts atomic.Int64
+	degraded atomic.Int64
+
+	// healthMu serializes healthz probes: they round-trip a
+	// fixed-name object per backend, so concurrent probes would race
+	// benignly but report noise.
+	healthMu sync.Mutex
 }
 
 // New builds a Server: opens (creating if needed) the result cache,
@@ -65,18 +100,35 @@ type Server struct {
 // construction over the same directories (the restart pattern, and
 // what the tests do) is fine.
 func New(cfg Config) (*Server, error) {
-	cache, err := OpenResultCache(cfg.ResultDir)
-	if err != nil {
-		return nil, err
+	tempAge := cfg.StaleTempAge
+	if tempAge <= 0 {
+		tempAge = tracestore.StaleTempAge
+	}
+	var cache *ResultCache
+	if cfg.ResultBackend != nil {
+		cache = NewResultCacheOn(cfg.ResultBackend)
+	} else {
+		var err error
+		cache, err = OpenResultCacheDir(cfg.ResultDir, tempAge)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{cfg: cfg, cache: cache, start: time.Now()}
-	if cfg.TraceDir != "" {
-		store, err := tracestore.Open(cfg.TraceDir)
+	s.flights.adm = newAdmission(cfg.MaxComputes, cfg.MaxQueue)
+	s.flights.timeout = cfg.ComputeTimeout
+	switch {
+	case cfg.TraceBackend != nil:
+		s.store = tracestore.NewOn(cfg.TraceBackend)
+	case cfg.TraceDir != "":
+		store, err := tracestore.OpenDir(cfg.TraceDir, tempAge)
 		if err != nil {
 			return nil, err
 		}
 		s.store = store
-		experiments.SetStore(store)
+	}
+	if s.store != nil {
+		experiments.SetStore(s.store)
 	}
 	if cfg.Parallelism != 0 {
 		experiments.SetParallelism(cfg.Parallelism)
@@ -109,10 +161,17 @@ func (s *Server) Handler() http.Handler {
 // ResultCache exposes the server's result cache (stats, tests).
 func (s *Server) ResultCache() *ResultCache { return s.cache }
 
+// TraceStore exposes the server's trace store (nil when none is
+// attached).
+func (s *Server) TraceStore() *tracestore.Store { return s.store }
+
 // Computes returns how many experiment computations (cache fills) the
 // server has performed — the observable that verifies single-flight
 // deduplication and warm-cache serving.
 func (s *Server) Computes() int64 { return s.computes.Load() }
+
+// Sheds returns how many requests were refused at admission (429).
+func (s *Server) Sheds() int64 { return s.flights.adm.Sheds() }
 
 // logf reports one server event.
 func (s *Server) logf(format string, args ...any) {
@@ -144,11 +203,40 @@ func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz actively probes every storage component — a full
+// Put/Get/compare/Delete round-trip per backend — and reports
+// per-component status. Any failing component returns 503 so a load
+// balancer can drain the node before clients hit a read-only disk;
+// the probe object is tiny, so polling every few seconds is fine.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	components := map[string]string{}
+	healthy := true
+	probe := func(name string, b storage.Backend) {
+		if err := storage.Probe(b); err != nil {
+			components[name] = err.Error()
+			healthy = false
+		} else {
+			components[name] = "ok"
+		}
+	}
+	probe("result_cache", s.cache.Backend())
+	if s.store != nil {
+		probe("trace_store", s.store.Backend())
+	}
+	body := map[string]any{
 		"status":           "ok",
 		"emulator_version": core.EmulatorVersion,
-	})
+		"components":       components,
+	}
+	status := http.StatusOK
+	if !healthy {
+		body["status"] = "unhealthy"
+		status = http.StatusServiceUnavailable
+		s.errors.Add(1)
+	}
+	writeJSON(w, status, body)
 }
 
 // statsBody is the /v1/stats response shape.
@@ -158,6 +246,9 @@ type statsBody struct {
 	Errors          int64             `json:"errors"`
 	Inflight        int64             `json:"inflight"`
 	Computes        int64             `json:"computes"`
+	Sheds           int64             `json:"sheds"`
+	ComputeTimeouts int64             `json:"compute_timeouts"`
+	DegradedServes  int64             `json:"degraded_serves"`
 	EngineRuns      int64             `json:"engine_runs"`
 	ResultCache     CacheStats        `json:"result_cache"`
 	TraceStore      *tracestore.Stats `json:"trace_store,omitempty"`
@@ -174,6 +265,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Errors:          s.errors.Load(),
 		Inflight:        s.inflight.Load(),
 		Computes:        s.computes.Load(),
+		Sheds:           s.Sheds(),
+		ComputeTimeouts: s.timeouts.Load(),
+		DegradedServes:  s.degraded.Load(),
 		EngineRuns:      bench.EngineRuns(),
 		ResultCache:     s.cache.Stats(),
 		EmulatorVersion: core.EmulatorVersion,
@@ -194,8 +288,14 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 
 // handleExperiment serves one experiment: parse and canonicalize the
 // parameters, consult the result cache, and on a miss compute through
-// the single-flight group under a context that shutdown and client
-// disconnects cancel.
+// admission and the single-flight group under a context that shutdown
+// and client disconnects cancel.
+//
+// Error mapping (docs/API.md "Failure modes"): malformed parameters
+// 400 naming the field; shed at admission 429 + Retry-After; client
+// disconnect or shutdown 503; compute budget exceeded 504; everything
+// else 500. A response computed while a storage component was bypassed
+// carries X-Degraded naming the components.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	exp, ok := Lookup(name)
@@ -209,7 +309,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		format = "json"
 	}
 	if format != "json" && format != "csv" && format != "text" {
-		s.fail(w, http.StatusBadRequest, "unknown format %q (json, csv or text)", format)
+		s.fail(w, http.StatusBadRequest, "parameter format=%q: want json, csv or text", format)
 		return
 	}
 	ps, run, err := exp.prepare(q)
@@ -220,20 +320,33 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	key := CacheKey{Experiment: name, Params: canonicalParams(ps)}
 
 	body, source, ok := s.cache.Get(key)
+	var degraded []string
 	if !ok {
-		body, source, err = s.compute(r.Context(), key, ps, run)
+		res, err := s.compute(r.Context(), key, ps, run)
 		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			switch {
+			case errors.Is(err, errShed):
+				w.Header().Set("Retry-After", "1")
+				s.fail(w, http.StatusTooManyRequests, "%s: %v", name, err)
+			case errors.Is(err, errComputeTimeout):
+				s.timeouts.Add(1)
+				s.fail(w, http.StatusGatewayTimeout, "%s: %v", name, err)
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 				// Shutdown or client disconnect: the connection is
 				// (about to be) gone; 503 tells any proxy the truth.
 				s.fail(w, http.StatusServiceUnavailable, "%s: computation cancelled: %v", name, err)
-				return
+			default:
+				s.fail(w, http.StatusInternalServerError, "%s: %v", name, err)
 			}
-			s.fail(w, http.StatusInternalServerError, "%s: %v", name, err)
 			return
 		}
+		body, source, degraded = res.body, res.src, res.degraded
 	}
 
+	if len(degraded) > 0 {
+		s.degraded.Add(1)
+		w.Header().Set("X-Degraded", strings.Join(degraded, ","))
+	}
 	w.Header().Set("X-Result-Source", source)
 	w.Header().Set("X-Emulator-Version", core.EmulatorVersion)
 	switch format {
@@ -268,46 +381,52 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // or sharing a trace-store cell with a cancelled experiment's grid run
 // — so the request retries: it hits the cache, starts a fresh flight
 // (cancelled cells are evicted from every memo layer), or in the worst
-// case joins another doomed flight and loops again.
-func (s *Server) compute(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) ([]byte, string, error) {
+// case joins another doomed flight and loops again. Shed and
+// compute-timeout errors are final — never retried here.
+func (s *Server) compute(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) (flightResult, error) {
 	for {
-		body, src, err := s.computeOnce(ctx, key, ps, run)
+		res, err := s.computeOnce(ctx, key, ps, run)
 		if err != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			continue
 		}
-		return body, src, err
+		return res, err
 	}
 }
 
-func (s *Server) computeOnce(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) ([]byte, string, error) {
-	return s.flights.do(ctx, key.hash(), func(cctx context.Context) ([]byte, string, error) {
+func (s *Server) computeOnce(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) (flightResult, error) {
+	return s.flights.do(ctx, key.hash(), func(cctx context.Context) (flightResult, error) {
 		// Double check under the flight: a racing request may have
 		// completed (and cached) this cell between our miss and this
 		// flight starting. peek keeps the hit/miss counters honest —
 		// the handler already recorded this request's miss.
 		if body, src, ok := s.cache.peek(key); ok {
-			return body, src, nil
+			return flightResult{body: body, src: src}, nil
 		}
 		s.computes.Add(1)
 		s.logf("computing %s?%s", key.Experiment, key.Params)
 		t0 := time.Now()
+		// The degraded flag rides the compute context: the grid marks
+		// it when a trace-store failure forces the storeless path, and
+		// every waiter on this flight reports the same components.
+		cctx, flag := storage.WithDegraded(cctx)
 		v, err := run(cctx)
 		if err != nil {
 			s.logf("compute %s?%s failed after %v: %v", key.Experiment, key.Params, time.Since(t0), err)
-			return nil, "", err
+			return flightResult{}, err
 		}
 		body, err := marshalEnvelope(key.Experiment, ps, v)
 		if err != nil {
-			return nil, "", err
+			return flightResult{}, err
 		}
 		if err := s.cache.Put(key, body); err != nil {
 			// Serve the result anyway: a full disk degrades the cache,
 			// not the response.
+			storage.MarkDegraded(cctx, "result-cache")
 			s.logf("result cache write for %s failed: %v", key.Experiment, err)
 		}
 		s.logf("computed %s?%s in %v (%d bytes)", key.Experiment, key.Params, time.Since(t0), len(body))
-		return body, "computed", nil
+		return flightResult{body: body, src: "computed", degraded: flag.Components()}, nil
 	})
 }
 
@@ -323,6 +442,7 @@ func marshalEnvelope(experiment string, ps []param, result any) ([]byte, error) 
 		EmulatorVersion: core.EmulatorVersion,
 		CodecVersion:    trace.CodecVersion,
 		CacheVersion:    CacheVersion,
+		ResultSHA:       resultSHA(raw),
 		Result:          raw,
 	})
 	if err != nil {
@@ -437,14 +557,64 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, traceBody(meta, size))
 }
 
+// ScrubSummary reports one Server.Scrub pass across both stores.
+type ScrubSummary struct {
+	// TraceReport is the trace store's scrub result (zero when no
+	// store is attached).
+	TraceReport tracestore.ScrubReport
+	// CacheReport is the result cache's scrub result.
+	CacheReport CacheScrubReport
+	// Swept counts stale temps and aged quarantined objects removed.
+	Swept int
+}
+
+// Scrub verifies every object in the trace store and result cache,
+// quarantining whatever fails (counted in /v1/stats), and sweeps
+// stale temps and aged quarantine entries. It is what the background
+// scrubber runs on its interval and what `tracegen verify -repair`
+// builds on.
+func (s *Server) Scrub() ScrubSummary {
+	tempAge := s.cfg.StaleTempAge
+	if tempAge <= 0 {
+		tempAge = tracestore.StaleTempAge
+	}
+	var sum ScrubSummary
+	sum.CacheReport = s.cache.Scrub()
+	sum.Swept += s.cache.Sweep(tempAge)
+	if s.store != nil {
+		sum.TraceReport = s.store.Scrub()
+		sum.Swept += s.store.Sweep(tempAge)
+	}
+	if n := len(sum.TraceReport.Quarantined) + len(sum.CacheReport.Quarantined); n > 0 || sum.Swept > 0 {
+		s.logf("scrub: %d checked, %d quarantined, %d swept",
+			sum.TraceReport.Checked+sum.CacheReport.Checked, n, sum.Swept)
+	}
+	return sum
+}
+
 // Serve runs the server on ln (or, when ln is nil, on addr) until ctx
 // is cancelled, then shuts down gracefully: cancelling ctx cancels
 // every in-flight request context (BaseContext), which aborts their
-// grid computations end to end, so the drain completes quickly. A
-// clean ctx-initiated shutdown returns nil.
+// grid computations end to end, so the drain completes quickly. When
+// Config.ScrubInterval is positive a background scrubber runs
+// alongside. A clean ctx-initiated shutdown returns nil.
 func Serve(ctx context.Context, addr string, ln net.Listener, s *Server, drain time.Duration) error {
 	if drain <= 0 {
 		drain = 5 * time.Second
+	}
+	if s.cfg.ScrubInterval > 0 {
+		go func() {
+			t := time.NewTicker(s.cfg.ScrubInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s.Scrub()
+				}
+			}
+		}()
 	}
 	hs := &http.Server{
 		Addr:        addr,

@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"io"
+	"time"
+)
+
+// RetryOptions tunes the Retry wrapper.
+type RetryOptions struct {
+	// Attempts is the total number of tries per operation (min 1).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles each
+	// further retry.
+	Backoff time.Duration
+	// RetryPut also retries Put's transient failures, re-running the
+	// write callback. Enable only when the callback is cheap and
+	// repeatable (the result cache writes a byte slice); the trace
+	// store leaves it off — its callback re-runs the emulator, and
+	// regeneration policy belongs to the grid layer.
+	RetryPut bool
+}
+
+// Retry wraps an inner backend with bounded retry-with-backoff for
+// transient errors (IsTransient). Non-transient errors — corrupt
+// content surfaces on decode, not here; real disk errors are not
+// marked transient — fail immediately, as does a miss.
+type Retry struct {
+	inner Backend
+	opts  RetryOptions
+}
+
+// NewRetry wraps inner with retries. Attempts < 1 is treated as 1
+// (no retries, pure passthrough).
+func NewRetry(inner Backend, opts RetryOptions) *Retry {
+	if opts.Attempts < 1 {
+		opts.Attempts = 1
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 5 * time.Millisecond
+	}
+	return &Retry{inner: inner, opts: opts}
+}
+
+// Name implements Backend.
+func (r *Retry) Name() string { return "retry(" + r.inner.Name() + ")" }
+
+// Inner returns the wrapped backend.
+func (r *Retry) Inner() Backend { return r.inner }
+
+// do runs op up to Attempts times, backing off between transient
+// failures.
+func (r *Retry) do(op func() error) error {
+	backoff := r.opts.Backoff
+	var err error
+	for attempt := 0; attempt < r.opts.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// Put implements Backend; retried only when RetryPut is set.
+func (r *Retry) Put(name string, write func(w io.Writer) error) error {
+	if !r.opts.RetryPut {
+		return r.inner.Put(name, write)
+	}
+	return r.do(func() error { return r.inner.Put(name, write) })
+}
+
+// Get implements Backend. Only the open is retried here — a transient
+// mid-stream read failure surfaces through the ReadCloser, and only
+// the caller can restart its decode from the top (the stores' heal
+// loops do).
+func (r *Retry) Get(name string) (io.ReadCloser, error) {
+	var rc io.ReadCloser
+	err := r.do(func() (err error) {
+		rc, err = r.inner.Get(name)
+		return err
+	})
+	return rc, err
+}
+
+// Stat implements Backend.
+func (r *Retry) Stat(name string) (Info, error) {
+	var info Info
+	err := r.do(func() (err error) {
+		info, err = r.inner.Stat(name)
+		return err
+	})
+	return info, err
+}
+
+// List implements Backend.
+func (r *Retry) List(prefix string) ([]string, error) {
+	var names []string
+	err := r.do(func() (err error) {
+		names, err = r.inner.List(prefix)
+		return err
+	})
+	return names, err
+}
+
+// Delete implements Backend.
+func (r *Retry) Delete(name string) error {
+	return r.do(func() error { return r.inner.Delete(name) })
+}
+
+// Rename implements Backend.
+func (r *Retry) Rename(old, new string) error {
+	return r.do(func() error { return r.inner.Rename(old, new) })
+}
+
+// Sweep implements Backend.
+func (r *Retry) Sweep(olderThan time.Duration) int { return r.inner.Sweep(olderThan) }

@@ -2,15 +2,17 @@
 // the paper's "trace file" stage made durable. The RAP-WAM emulator is
 // by far the most expensive stage of the Figure 1 pipeline, and a trace
 // is a pure function of (benchmark, PEs, sequential, emulator version) —
-// so each such cell is generated once, written to disk in the compact
-// chunked codec (internal/trace, docs/TRACE_FORMAT.md), and replayed
-// from disk by every later experiment. Replay is streaming: chunks are
-// decoded straight into trace.BatchSink consumers, so a trace larger
-// than RAM still feeds a full grid of cache simulators.
+// so each such cell is generated once, written in the compact chunked
+// codec (internal/trace, docs/TRACE_FORMAT.md), and replayed by every
+// later experiment. Replay is streaming: chunks are decoded straight
+// into trace.BatchSink consumers, so a trace larger than RAM still
+// feeds a full grid of cache simulators.
 //
 // # Layout
 //
-// A store is a flat directory. Each cell owns two files:
+// A store is one storage.Backend namespace (a local directory in
+// production — storage.Dir — or storage.Mem in tests). Each cell owns
+// two objects:
 //
 //	<bench>-p<PEs>-<seq|par>-<emuver>-<key hash>.rwt2   compact trace
 //	<same stem>.json                                    run sidecar
@@ -21,28 +23,44 @@
 // The sidecar carries the run's engine statistics (JSON), so experiment
 // drivers that need only core.Stats never re-run the emulator either.
 //
+// # Self-healing
+//
+// Because a trace is a pure function of its key, a corrupt object is
+// never fatal: any read-path verification failure — bad magic, CRC
+// mismatch, truncation, header/key mismatch, unparseable sidecar —
+// moves the object to the backend's quarantine/ namespace, bumps the
+// Quarantines counter, and surfaces a *CorruptError that also matches
+// errors.Is(err, fs.ErrNotExist), so every caller already handling
+// misses regenerates transparently. Corruption costs one regeneration,
+// never correctness. Transient backend errors (storage.IsTransient)
+// are NOT corruption and never quarantine — a flaky read must not
+// evict a healthy object.
+//
 // # Concurrency
 //
-// Writes go through a temp file in the store directory followed by an
-// atomic rename, so concurrent writers (including separate processes
-// sharing a store directory) race benignly: one complete file wins.
-// Readers only ever observe complete files. In-process single-flight
-// deduplication is the caller's job (the experiments grid runner keys
-// generation on the cell).
+// Writes are atomic through the backend (temp file + rename on disk),
+// so concurrent writers — including separate processes sharing a store
+// directory — race benignly: one complete object wins. Readers only
+// ever observe complete objects. In-process single-flight deduplication
+// is the caller's job (internal/bench.EnsureStored keys generation on
+// the cell).
 package tracestore
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -86,7 +104,7 @@ func (k Key) hash() string {
 		k.EmulatorVersion, fmt.Sprintf("v%d", trace.CodecVersion))
 }
 
-// stem is the key's file name without extension.
+// stem is the key's object name without extension.
 func (k Key) stem() string {
 	mode := "par"
 	if k.Sequential {
@@ -96,7 +114,7 @@ func (k Key) stem() string {
 	return fmt.Sprintf("%s-p%d-%s-%s-%s", name, k.PEs, mode, sanitize(k.EmulatorVersion), k.hash())
 }
 
-// sanitize keeps file names portable.
+// sanitize keeps object names portable.
 func sanitize(s string) string {
 	return strings.Map(func(r rune) rune {
 		switch {
@@ -108,90 +126,110 @@ func sanitize(s string) string {
 	}, s)
 }
 
-// TraceExt is the file extension of stored compact traces.
+// TraceExt is the extension of stored compact traces.
 const TraceExt = ".rwt2"
 
-// Stats are the store's hit/miss counters since process start (or the
-// last ResetStats). Misses count Has/Replay/Load lookups that found no
-// file; Puts counts completed writes.
+// Stats are the store's counters since process start (or the last
+// ResetStats). Misses count Has/Replay/Load lookups that found no
+// object; Puts counts completed writes; Quarantines counts corrupt
+// objects moved aside by the self-healing read paths and Scrub.
 type Stats struct {
 	Hits, Misses, Puts int64
+	Quarantines        int64
 }
 
-// Store is a trace store rooted at one directory.
+// Store is a trace store over one storage backend.
 type Store struct {
-	dir    string
-	hits   atomic.Int64
-	misses atomic.Int64
-	puts   atomic.Int64
+	b   storage.Backend
+	dir string // filesystem root when directory-backed, "" otherwise
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	puts        atomic.Int64
+	quarantines atomic.Int64
 }
 
-// StaleTempAge is how old a temp file must be before Open sweeps it.
-// Writers hold their temp file only for the duration of one atomic
-// temp+rename write (seconds); anything hours old is a stranded
-// dropping from a killed writer, not a write in progress.
+// StaleTempAge is the default age past which Open sweeps temp-file
+// droppings (and aged quarantined objects). Writers hold their temp
+// file only for the duration of one atomic temp+rename write
+// (seconds); anything hours old is a stranded dropping from a killed
+// writer, not a write in progress.
 const StaleTempAge = time.Hour
 
-// Open creates (if needed) and opens a store directory, sweeping any
-// stale *.tmp files a killed writer left behind (the atomic
-// temp+rename scheme cleans up after errors, but not after SIGKILL or
-// a power cut mid-write). Temps younger than StaleTempAge are left
-// alone — they may belong to a live writer in another process.
-func Open(dir string) (*Store, error) {
+// Open creates (if needed) and opens a store directory with the
+// default sweep age. See OpenDir.
+func Open(dir string) (*Store, error) { return OpenDir(dir, StaleTempAge) }
+
+// OpenDir creates (if needed) and opens a directory-backed store,
+// sweeping stale *.tmp files a killed writer left behind and aged
+// quarantined objects (the atomic temp+rename scheme cleans up after
+// errors, but not after SIGKILL or a power cut mid-write). Temps
+// younger than tempAge are left alone — they may belong to a live
+// writer in another process; tempAge <= 0 disables the opening sweep.
+func OpenDir(dir string, tempAge time.Duration) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("tracestore: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	d, err := storage.NewDir(dir, tempAge)
+	if err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
-	SweepStaleTemps(dir, StaleTempAge)
-	return &Store{dir: dir}, nil
+	return &Store{b: d, dir: dir}, nil
+}
+
+// NewOn opens a store over an arbitrary backend (in-memory stores for
+// tests, fault-injection wrappers for chaos runs, networked backends
+// later).
+func NewOn(b storage.Backend) *Store {
+	s := &Store{b: b}
+	if d, ok := b.(*storage.Dir); ok {
+		s.dir = d.Root()
+	}
+	return s
 }
 
 // SweepStaleTemps removes *.tmp files in dir whose modification time
 // is more than olderThan ago, returning how many were removed. It is
-// shared by every store using the temp+rename write scheme (the trace
-// store and the service result cache); sweep failures are deliberately
-// non-fatal — a stranded temp wastes disk but corrupts nothing.
+// shared by every store using the temp+rename write scheme; sweep
+// failures are deliberately non-fatal — a stranded temp wastes disk
+// but corrupts nothing. (Backend-hosted stores sweep through
+// Store.Sweep; this remains for bare directories.)
 func SweepStaleTemps(dir string, olderThan time.Duration) int {
-	entries, err := os.ReadDir(dir)
+	d, err := storage.NewDir(dir, 0)
 	if err != nil {
 		return 0
 	}
-	cutoff := time.Now().Add(-olderThan)
-	removed := 0
-	for _, e := range entries {
-		if !e.Type().IsRegular() || !strings.HasSuffix(e.Name(), ".tmp") {
-			continue
-		}
-		info, err := e.Info()
-		if err != nil || info.ModTime().After(cutoff) {
-			continue
-		}
-		if os.Remove(filepath.Join(dir, e.Name())) == nil {
-			removed++
-		}
-	}
-	return removed
+	return d.Sweep(olderThan)
 }
 
-// Dir returns the store's root directory.
+// Backend returns the store's storage backend.
+func (s *Store) Backend() storage.Backend { return s.b }
+
+// Dir returns the store's root directory ("" when the backend is not a
+// local directory).
 func (s *Store) Dir() string { return s.dir }
 
-// Path returns the file a key's trace is (or would be) stored at.
-func (s *Store) Path(k Key) string {
-	return filepath.Join(s.dir, k.stem()+TraceExt)
-}
+// name returns the trace object name for a key.
+func (k Key) name() string { return k.stem() + TraceExt }
 
-// sidecarPath returns the key's run-sidecar file.
-func (s *Store) sidecarPath(k Key) string {
-	return filepath.Join(s.dir, k.stem()+".json")
+// sidecarName returns the run-sidecar object name for a key.
+func (k Key) sidecarName() string { return k.stem() + ".json" }
+
+// Path returns the file a key's trace is (or would be) stored at for
+// directory-backed stores; for other backends it returns the object
+// name.
+func (s *Store) Path(k Key) string {
+	if s.dir == "" {
+		return k.name()
+	}
+	return filepath.Join(s.dir, k.name())
 }
 
 // Has reports whether the store holds a trace for k. It counts toward
-// the hit/miss statistics.
+// the hit/miss statistics. Backend errors read as absent: the caller's
+// next step (regenerate) is also the right response to a broken probe.
 func (s *Store) Has(k Key) bool {
-	_, err := os.Stat(s.Path(k))
+	_, err := s.b.Stat(k.name())
 	if err == nil {
 		s.hits.Add(1)
 		return true
@@ -200,9 +238,14 @@ func (s *Store) Has(k Key) bool {
 	return false
 }
 
-// Stats returns the hit/miss/put counters.
+// Stats returns the hit/miss/put/quarantine counters.
 func (s *Store) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Quarantines: s.quarantines.Load(),
+	}
 }
 
 // ResetStats zeroes the counters.
@@ -210,10 +253,162 @@ func (s *Store) ResetStats() {
 	s.hits.Store(0)
 	s.misses.Store(0)
 	s.puts.Store(0)
+	s.quarantines.Store(0)
+}
+
+// Sweep removes stale temp droppings and aged quarantined objects.
+func (s *Store) Sweep(olderThan time.Duration) int { return s.b.Sweep(olderThan) }
+
+// CorruptError reports a stored object that failed read-path
+// verification and was quarantined. It matches
+// errors.Is(err, fs.ErrNotExist): after quarantine the cell IS absent,
+// so every caller that handles misses by regenerating heals corruption
+// with the same code path.
+type CorruptError struct {
+	// Key is the cell the object was looked up under.
+	Key Key
+	// Name is the object name, now under quarantine/ (unless the
+	// quarantine move itself failed; the object then stays in place
+	// and the next read retries the move).
+	Name string
+	// Err is the verification failure.
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("tracestore: %s corrupt (quarantined): %v", e.Name, e.Err)
+}
+
+// Unwrap exposes both the verification failure and fs.ErrNotExist (a
+// quarantined cell is a miss).
+func (e *CorruptError) Unwrap() []error { return []error{e.Err, fs.ErrNotExist} }
+
+// IsCorrupt reports whether err is a quarantined-corruption error from
+// this store (or the result cache, which uses the same type via
+// AsCorrupt-style matching).
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// quarantine moves a failed object into the backend's quarantine/
+// namespace, counting it. If the move fails (the backend may itself be
+// faulty) it falls back to deleting the object — a corrupt object that
+// kept its name would mask the regenerated cell forever, which is the
+// one outcome self-healing cannot allow. Both failing is fine: the
+// object stays, the next read fails verification again and retries.
+func (s *Store) quarantine(name string) {
+	if err := s.b.Rename(name, storage.QuarantinePrefix+name); err != nil {
+		if s.b.Delete(name) != nil {
+			return
+		}
+	}
+	s.quarantines.Add(1)
+}
+
+// readFail classifies a read-path failure on the object for k:
+// transient backend errors pass through (retry, don't quarantine);
+// anything else is corruption — quarantine and report a *CorruptError
+// that reads as a miss.
+func (s *Store) readFail(k Key, name string, err error) error {
+	if storage.IsTransient(err) || storage.AsBackendError(err) {
+		return fmt.Errorf("tracestore: %s: %w", name, err)
+	}
+	s.quarantine(name)
+	return &CorruptError{Key: k, Name: name, Err: err}
+}
+
+// Replay streams the stored trace for k into sink — chunk-at-a-time
+// decode feeding BatchSink consumers directly, never materializing the
+// trace — and returns its metadata (with footer-verified counts).
+// A missing cell returns an error satisfying errors.Is(err,
+// fs.ErrNotExist); so does a corrupt (now quarantined) one. NOTE: a
+// mid-stream failure may already have fed sink a partial prefix —
+// retrying callers must recreate their consumer state.
+func (s *Store) Replay(k Key, sink trace.Sink) (trace.Meta, error) {
+	name := k.name()
+	rc, err := s.b.Get(name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return trace.Meta{}, err
+		}
+		return trace.Meta{}, fmt.Errorf("tracestore: %s: %w", name, err)
+	}
+	defer rc.Close()
+	s.hits.Add(1)
+	cr, err := trace.NewChunkReader(rc)
+	if err != nil {
+		return trace.Meta{}, s.readFail(k, name, err)
+	}
+	if err := verifyMeta(k, cr.Meta()); err != nil {
+		return cr.Meta(), s.readFail(k, name, err)
+	}
+	if _, err := cr.Replay(sink); err != nil {
+		return cr.Meta(), s.readFail(k, name, err)
+	}
+	return cr.Meta(), nil
+}
+
+// Meta decodes only the header of the stored trace for k, verifying it
+// against the key, and returns it with the object size — the cheap
+// metadata lookup behind the service's /v1/traces endpoint. A missing
+// cell counts as a miss; a corrupt header quarantines the object.
+func (s *Store) Meta(k Key) (trace.Meta, int64, error) {
+	name := k.name()
+	info, err := s.b.Stat(name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+		}
+		return trace.Meta{}, 0, err
+	}
+	rc, err := s.b.Get(name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return trace.Meta{}, 0, err
+		}
+		return trace.Meta{}, 0, fmt.Errorf("tracestore: %s: %w", name, err)
+	}
+	defer rc.Close()
+	cr, err := trace.NewChunkReader(rc)
+	if err != nil {
+		return trace.Meta{}, info.Size, s.readFail(k, name, err)
+	}
+	if err := verifyMeta(k, cr.Meta()); err != nil {
+		return cr.Meta(), info.Size, s.readFail(k, name, err)
+	}
+	s.hits.Add(1)
+	return cr.Meta(), info.Size, nil
+}
+
+// Load fully decodes the stored trace for k into a Buffer (for callers
+// that want the in-memory form; prefer Replay for streaming).
+func (s *Store) Load(k Key) (*trace.Buffer, trace.Meta, error) {
+	name := k.name()
+	rc, err := s.b.Get(name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return nil, trace.Meta{}, err
+		}
+		return nil, trace.Meta{}, fmt.Errorf("tracestore: %s: %w", name, err)
+	}
+	defer rc.Close()
+	s.hits.Add(1)
+	buf, meta, err := trace.ReadCompact(rc)
+	if err != nil {
+		return nil, meta, s.readFail(k, name, err)
+	}
+	if err := verifyMeta(k, meta); err != nil {
+		return nil, meta, s.readFail(k, name, err)
+	}
+	return buf, meta, nil
 }
 
 // verifyMeta checks a decoded header against the key it was looked up
-// under, so a hand-edited or mis-copied store file cannot silently
+// under, so a hand-edited or mis-copied store object cannot silently
 // stand in for a different cell.
 func verifyMeta(k Key, m trace.Meta) error {
 	if m.Benchmark != k.Benchmark || m.PEs != k.PEs ||
@@ -224,75 +419,11 @@ func verifyMeta(k Key, m trace.Meta) error {
 	return nil
 }
 
-// Replay streams the stored trace for k into sink — chunk-at-a-time
-// decode feeding BatchSink consumers directly, never materializing the
-// trace — and returns its metadata (with footer-verified counts).
-// A missing cell returns an error satisfying errors.Is(err, fs.ErrNotExist).
-func (s *Store) Replay(k Key, sink trace.Sink) (trace.Meta, error) {
-	f, err := os.Open(s.Path(k))
-	if err != nil {
-		s.misses.Add(1)
-		return trace.Meta{}, err
-	}
-	defer f.Close()
-	s.hits.Add(1)
-	cr, err := trace.NewChunkReader(f)
-	if err != nil {
-		return trace.Meta{}, fmt.Errorf("tracestore: %s: %w", s.Path(k), err)
-	}
-	if err := verifyMeta(k, cr.Meta()); err != nil {
-		return cr.Meta(), err
-	}
-	if _, err := cr.Replay(sink); err != nil {
-		return cr.Meta(), fmt.Errorf("tracestore: %s: %w", s.Path(k), err)
-	}
-	return cr.Meta(), nil
-}
-
-// Meta decodes only the header of the stored trace for k, verifying it
-// against the key, and returns it with the file size — the cheap
-// metadata lookup behind the service's /v1/traces endpoint. A missing
-// cell counts as a miss.
-func (s *Store) Meta(k Key) (trace.Meta, int64, error) {
-	meta, size, err := readHeader(s.Path(k))
-	if err != nil {
-		if os.IsNotExist(err) {
-			s.misses.Add(1)
-		}
-		return trace.Meta{}, 0, err
-	}
-	if err := verifyMeta(k, meta); err != nil {
-		return meta, size, err
-	}
-	s.hits.Add(1)
-	return meta, size, nil
-}
-
-// Load fully decodes the stored trace for k into a Buffer (for callers
-// that want the in-memory form; prefer Replay for streaming).
-func (s *Store) Load(k Key) (*trace.Buffer, trace.Meta, error) {
-	f, err := os.Open(s.Path(k))
-	if err != nil {
-		s.misses.Add(1)
-		return nil, trace.Meta{}, err
-	}
-	defer f.Close()
-	s.hits.Add(1)
-	buf, meta, err := trace.ReadCompact(f)
-	if err != nil {
-		return nil, meta, fmt.Errorf("tracestore: %s: %w", s.Path(k), err)
-	}
-	if err := verifyMeta(k, meta); err != nil {
-		return nil, meta, err
-	}
-	return buf, meta, nil
-}
-
 // Put generates and stores the trace for k: gen receives a Sink (the
-// compact encoder over a temp file) and must emit the full reference
-// stream; on success the temp file is atomically renamed into place.
-// Any error (from gen or the encoder) leaves the store unchanged.
-func (s *Store) Put(k Key, gen func(trace.Sink) error) (retErr error) {
+// compact encoder over the backend's atomic writer) and must emit the
+// full reference stream. Any error (from gen or the encoder) leaves
+// the store unchanged.
+func (s *Store) Put(k Key, gen func(trace.Sink) error) error {
 	return s.PutWorkers(k, 1, gen)
 }
 
@@ -302,135 +433,158 @@ func (s *Store) Put(k Key, gen func(trace.Sink) error) (retErr error) {
 // overlapping generation with encode and I/O) while producing bytes
 // identical to the sequential encoder — same content address, same
 // golden hashes. workers <= 1 keeps the fully synchronous encoder.
-func (s *Store) PutWorkers(k Key, workers int, gen func(trace.Sink) error) (retErr error) {
-	tmp, err := os.CreateTemp(s.dir, "put-*"+TraceExt+".tmp")
-	if err != nil {
-		return fmt.Errorf("tracestore: %w", err)
-	}
-	committed := false
-	defer func() {
-		// Clean the temp file up on error AND on panic (a machine
-		// error escaping gen must not strand a dropping).
-		if !committed {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
+func (s *Store) PutWorkers(k Key, workers int, gen func(trace.Sink) error) error {
 	meta := trace.Meta{
 		Benchmark:       k.Benchmark,
 		PEs:             k.PEs,
 		Sequential:      k.Sequential,
 		EmulatorVersion: k.EmulatorVersion,
 	}
-	// Both writer kinds behind one closure pair; the parallel writer
-	// must be Closed even when gen fails, or its pipeline goroutines
-	// leak.
-	var sink trace.Sink
-	var closeWriter func() error
-	if workers > 1 {
-		cw, err := trace.NewParallelChunkWriter(tmp, meta, workers)
-		if err != nil {
+	err := s.b.Put(k.name(), func(w io.Writer) error {
+		// Both writer kinds behind one closure pair; the parallel
+		// writer must be Closed even when gen fails, or its pipeline
+		// goroutines leak.
+		var sink trace.Sink
+		var closeWriter func() error
+		if workers > 1 {
+			cw, err := trace.NewParallelChunkWriter(w, meta, workers)
+			if err != nil {
+				return err
+			}
+			sink, closeWriter = cw, cw.Close
+		} else {
+			cw, err := trace.NewChunkWriter(w, meta)
+			if err != nil {
+				return err
+			}
+			sink, closeWriter = cw, cw.Close
+		}
+		if err := gen(sink); err != nil {
+			closeWriter()
 			return err
 		}
-		sink, closeWriter = cw, cw.Close
-	} else {
-		cw, err := trace.NewChunkWriter(tmp, meta)
-		if err != nil {
-			return err
-		}
-		sink, closeWriter = cw, cw.Close
-	}
-	if err := gen(sink); err != nil {
-		closeWriter()
+		return closeWriter()
+	})
+	if err != nil {
 		return err
 	}
-	if err := closeWriter(); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("tracestore: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.Path(k)); err != nil {
-		return fmt.Errorf("tracestore: %w", err)
-	}
-	committed = true
 	s.puts.Add(1)
 	return nil
+}
+
+// sidecarEnvelope wraps the sidecar payload with a checksum. Unlike the
+// CRC-chunked trace codec, bare JSON has no integrity whatsoever: a
+// single flipped bit can turn one digit into another and still parse,
+// reading back as wrong-but-plausible statistics. The checksum turns
+// that silent corruption into a quarantine-and-regenerate.
+type sidecarEnvelope struct {
+	SHA  string          `json:"sha256"`
+	Data json.RawMessage `json:"data"`
+}
+
+// sidecarSHA is the sidecarEnvelope checksum of a raw payload.
+func sidecarSHA(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
 }
 
 // PutSidecar stores v as the key's JSON run sidecar (atomically, like
 // Put). The experiments grid stores the generating run's engine
 // statistics here so stats-only drivers skip the emulator too.
-func (s *Store) PutSidecar(k Key, v any) (retErr error) {
-	data, err := json.Marshal(v)
+func (s *Store) PutSidecar(k Key, v any) error {
+	raw, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("tracestore: sidecar: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "put-*.json.tmp")
+	data, err := json.Marshal(sidecarEnvelope{SHA: sidecarSHA(raw), Data: raw})
+	if err != nil {
+		return fmt.Errorf("tracestore: sidecar: %w", err)
+	}
+	err = s.b.Put(k.sidecarName(), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
 	if err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
-	committed := false
-	defer func() {
-		if !committed {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if _, err := tmp.Write(data); err != nil {
-		return fmt.Errorf("tracestore: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("tracestore: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.sidecarPath(k)); err != nil {
-		return fmt.Errorf("tracestore: %w", err)
-	}
-	committed = true
 	return nil
 }
 
 // LoadSidecar unmarshals the key's JSON run sidecar into v, reporting
-// ok=false (without error) when no sidecar exists.
+// ok=false (without error) when no sidecar exists — and likewise when
+// the sidecar is corrupt: the bad object is quarantined and the caller
+// regenerates, the same self-healing contract as trace reads. Only
+// transient backend failures surface as errors.
 func (s *Store) LoadSidecar(k Key, v any) (ok bool, err error) {
-	data, err := os.ReadFile(s.sidecarPath(k))
+	name := k.sidecarName()
+	rc, err := s.b.Get(name)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return false, nil
 		}
-		return false, fmt.Errorf("tracestore: %w", err)
+		return false, fmt.Errorf("tracestore: %s: %w", name, err)
 	}
-	if err := json.Unmarshal(data, v); err != nil {
-		return false, fmt.Errorf("tracestore: sidecar %s: %w", s.sidecarPath(k), err)
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		if storage.IsTransient(err) || storage.AsBackendError(err) {
+			return false, fmt.Errorf("tracestore: %s: %w", name, err)
+		}
+		s.quarantine(name)
+		return false, nil
+	}
+	if err := verifySidecar(data, v); err != nil {
+		s.quarantine(name)
+		return false, nil
 	}
 	return true, nil
 }
 
+// verifySidecar checks a raw sidecar object's envelope and checksum,
+// unmarshalling the payload into v (which may be nil to verify only).
+func verifySidecar(data []byte, v any) error {
+	var env sidecarEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return err
+	}
+	if env.SHA != sidecarSHA(env.Data) {
+		return errors.New("sidecar payload checksum mismatch")
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(env.Data, v)
+}
+
 // Entry describes one stored trace found by List.
 type Entry struct {
-	// Path is the trace file path.
+	// Path is the trace file path (object name on non-directory
+	// backends).
 	Path string
 	// Meta is the decoded header (counts are header-declared; run
 	// Verify for footer-checked totals).
 	Meta trace.Meta
-	// Bytes is the file size.
+	// Bytes is the object size.
 	Bytes int64
 }
 
-// List scans the store directory and returns every readable trace,
-// sorted by file name. Files whose header does not parse are skipped
-// (Verify reports them).
+// List scans the store and returns every readable trace, sorted by
+// name. Objects whose header does not parse are skipped (Verify and
+// Scrub report them).
 func (s *Store) List() ([]Entry, error) {
-	names, err := s.traceFiles()
+	names, err := s.traceNames()
 	if err != nil {
 		return nil, err
 	}
 	var out []Entry
 	for _, name := range names {
-		path := filepath.Join(s.dir, name)
-		meta, size, err := readHeader(path)
+		meta, size, err := s.readObjectHeader(name)
 		if err != nil {
 			continue
+		}
+		path := name
+		if s.dir != "" {
+			path = filepath.Join(s.dir, name)
 		}
 		out = append(out, Entry{Path: path, Meta: meta, Bytes: size})
 	}
@@ -438,42 +592,161 @@ func (s *Store) List() ([]Entry, error) {
 }
 
 // Verify fully decodes every trace in the store, checking header and
-// chunk CRCs and footer totals, and returns one error per corrupt file
-// (nil if the whole store is clean).
+// chunk CRCs and footer totals, and returns one error per corrupt
+// object (nil if the whole store is clean). Verify is strictly
+// read-only — it never quarantines; Scrub is the repairing variant.
 func (s *Store) Verify() []error {
-	names, err := s.traceFiles()
+	names, err := s.traceNames()
 	if err != nil {
 		return []error{err}
 	}
 	var errs []error
 	for _, name := range names {
-		path := filepath.Join(s.dir, name)
-		if err := verifyFile(path); err != nil {
+		if err := s.verifyObject(name); err != nil {
+			path := name
+			if s.dir != "" {
+				path = filepath.Join(s.dir, name)
+			}
 			errs = append(errs, fmt.Errorf("%s: %w", path, err))
 		}
 	}
 	return errs
 }
 
-// traceFiles returns the sorted .rwt2 file names in the store.
-func (s *Store) traceFiles() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport struct {
+	// Checked counts objects examined (traces and sidecars).
+	Checked int
+	// Quarantined lists object names moved to quarantine/.
+	Quarantined []string
+	// Recoverable lists the keys of quarantined traces whose headers
+	// were still readable — the cells a repair pass can regenerate.
+	Recoverable []Key
+	// Errors holds one diagnostic per quarantined or unreadable object.
+	Errors []error
+}
+
+// Scrub is the repairing scan behind `tracegen verify -repair` and the
+// daemon's background scrubber: it fully decodes every trace (header,
+// chunk CRCs, footer totals, header-vs-name key check) and validates
+// every sidecar's JSON, quarantining whatever fails and reporting
+// which cells are regenerable. A clean store returns an empty report.
+func (s *Store) Scrub() ScrubReport {
+	var rep ScrubReport
+	names, err := s.traceNames()
+	if err != nil {
+		rep.Errors = append(rep.Errors, err)
+		return rep
+	}
+	for _, name := range names {
+		rep.Checked++
+		verr := s.verifyObject(name)
+		var k Key
+		haveKey := false
+		if meta, _, err := s.readObjectHeader(name); err == nil {
+			k = Key{Benchmark: meta.Benchmark, PEs: meta.PEs,
+				Sequential: meta.Sequential, EmulatorVersion: meta.EmulatorVersion}
+			haveKey = true
+			if verr == nil && k.name() != name {
+				verr = fmt.Errorf("object name %s does not match header key %v (want %s)", name, k, k.name())
+			}
+		}
+		if verr == nil {
+			continue
+		}
+		if storage.IsTransient(verr) || storage.AsBackendError(verr) {
+			// A flaky read is not corruption; report it and move on.
+			rep.Errors = append(rep.Errors, fmt.Errorf("%s: %w", name, verr))
+			continue
+		}
+		s.quarantine(name)
+		rep.Quarantined = append(rep.Quarantined, name)
+		rep.Errors = append(rep.Errors, fmt.Errorf("%s: %w", name, verr))
+		if haveKey && k.name() == name {
+			rep.Recoverable = append(rep.Recoverable, k)
+		}
+	}
+	sidecars, err := s.b.List("")
+	if err != nil {
+		rep.Errors = append(rep.Errors, fmt.Errorf("tracestore: %w", err))
+		return rep
+	}
+	for _, name := range sidecars {
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		rep.Checked++
+		rc, err := s.b.Get(name)
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Errorf("%s: %w", name, err))
+			continue
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Errorf("%s: %w", name, err))
+			continue
+		}
+		if err := verifySidecar(data, nil); err != nil {
+			s.quarantine(name)
+			rep.Quarantined = append(rep.Quarantined, name)
+			rep.Errors = append(rep.Errors, fmt.Errorf("%s: invalid sidecar: %w", name, err))
+		}
+	}
+	return rep
+}
+
+// traceNames returns the sorted trace object names in the store.
+func (s *Store) traceNames() ([]string, error) {
+	names, err := s.b.List("")
 	if err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
-	var names []string
-	for _, e := range entries {
-		if !e.Type().IsRegular() || !strings.HasSuffix(e.Name(), TraceExt) {
-			continue
+	var out []string
+	for _, name := range names {
+		if strings.HasSuffix(name, TraceExt) {
+			out = append(out, name)
 		}
-		names = append(names, e.Name())
 	}
-	sort.Strings(names)
-	return names, nil
+	return out, nil
 }
 
-// readHeader opens path and decodes only the compact header.
-func readHeader(path string) (trace.Meta, int64, error) {
+// readObjectHeader decodes only the compact header of one object.
+func (s *Store) readObjectHeader(name string) (trace.Meta, int64, error) {
+	info, err := s.b.Stat(name)
+	if err != nil {
+		return trace.Meta{}, 0, err
+	}
+	rc, err := s.b.Get(name)
+	if err != nil {
+		return trace.Meta{}, info.Size, err
+	}
+	defer rc.Close()
+	cr, err := trace.NewChunkReader(rc)
+	if err != nil {
+		return trace.Meta{}, info.Size, err
+	}
+	return cr.Meta(), info.Size, nil
+}
+
+// verifyObject fully decodes one stored trace.
+func (s *Store) verifyObject(name string) error {
+	rc, err := s.b.Get(name)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	cr, err := trace.NewChunkReader(rc)
+	if err != nil {
+		return err
+	}
+	_, err = cr.Replay(trace.Discard)
+	return err
+}
+
+// ReadFileMeta decodes the header of a compact trace file outside any
+// store (for CLI inspection of bare .rwt2 files).
+func ReadFileMeta(path string) (trace.Meta, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return trace.Meta{}, 0, err
@@ -489,25 +762,6 @@ func readHeader(path string) (trace.Meta, int64, error) {
 	}
 	return cr.Meta(), info.Size(), nil
 }
-
-// verifyFile fully decodes one trace file.
-func verifyFile(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	cr, err := trace.NewChunkReader(f)
-	if err != nil {
-		return err
-	}
-	_, err = cr.Replay(trace.Discard)
-	return err
-}
-
-// ReadFileMeta decodes the header of a compact trace file outside any
-// store (for CLI inspection of bare .rwt2 files).
-func ReadFileMeta(path string) (trace.Meta, int64, error) { return readHeader(path) }
 
 // ReadFileFull fully decodes a compact trace file and returns its
 // metadata with footer-verified totals (Refs, PerPE).
@@ -528,4 +782,7 @@ func ReadFileFull(path string) (trace.Meta, error) {
 }
 
 // VerifyFile fully decodes a compact trace file outside any store.
-func VerifyFile(path string) error { return verifyFile(path) }
+func VerifyFile(path string) error {
+	_, err := ReadFileFull(path)
+	return err
+}

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/storage"
+	"repro/internal/tracestore"
 )
 
 // This file re-exports the experiment results service: a long-running
@@ -41,6 +43,32 @@ type ServeConfig struct {
 	// setting, negative selects GOMAXPROCS). Results are bit-identical
 	// at any setting; see SetShards.
 	Shards int
+	// MaxComputes caps concurrent experiment computations; 0 means
+	// unlimited. Cache hits and joins of an in-flight identical
+	// computation are never throttled — only the request that would
+	// START a computation takes a slot.
+	MaxComputes int
+	// MaxQueue caps cold requests waiting for a compute slot; beyond
+	// it requests are shed with 429 + Retry-After instead of queueing
+	// without bound. 0 defaults to 4×MaxComputes; ignored when
+	// MaxComputes is 0.
+	MaxQueue int
+	// ComputeTimeout bounds each computation's wall-clock time; expiry
+	// maps to 504. 0 disables the per-compute deadline.
+	ComputeTimeout time.Duration
+	// StaleTempAge is the age past which temp-file droppings and aged
+	// quarantined objects are swept (at open and by the scrubber);
+	// 0 selects the default, one hour.
+	StaleTempAge time.Duration
+	// ScrubInterval, when positive, runs a background scrub at that
+	// period under Serve: full verification of the result cache and
+	// trace store, quarantining whatever fails, plus a temp sweep.
+	ScrubInterval time.Duration
+	// Chaos, when non-empty, wraps both stores in the deterministic
+	// fault injector — a spec like "seed=7,readerr=0.1,bitflip=0.05"
+	// (see cmd/rapwamd -chaos). Strictly for fault-tolerance testing:
+	// the service must keep returning correct answers under it.
+	Chaos string
 	// DrainTimeout bounds graceful shutdown (default 5s). Shutdown is
 	// normally much faster: cancelling the serve context also cancels
 	// every in-flight request's computation.
@@ -60,13 +88,41 @@ type Service struct {
 // so build one live service per process (sequential construction over
 // the same directories — the restart pattern — is fine).
 func NewService(cfg ServeConfig) (*Service, error) {
-	s, err := service.New(service.Config{
-		ResultDir:   cfg.ResultDir,
-		TraceDir:    cfg.TraceDir,
-		Parallelism: cfg.Parallelism,
-		Shards:      cfg.Shards,
-		Log:         cfg.Log,
-	})
+	scfg := service.Config{
+		ResultDir:      cfg.ResultDir,
+		TraceDir:       cfg.TraceDir,
+		Parallelism:    cfg.Parallelism,
+		Shards:         cfg.Shards,
+		MaxComputes:    cfg.MaxComputes,
+		MaxQueue:       cfg.MaxQueue,
+		ComputeTimeout: cfg.ComputeTimeout,
+		StaleTempAge:   cfg.StaleTempAge,
+		ScrubInterval:  cfg.ScrubInterval,
+		Log:            cfg.Log,
+	}
+	if cfg.Chaos != "" {
+		faults, err := storage.ParseFaults(cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		tempAge := cfg.StaleTempAge
+		if tempAge <= 0 {
+			tempAge = tracestore.StaleTempAge
+		}
+		rb, err := storage.NewDir(cfg.ResultDir, tempAge)
+		if err != nil {
+			return nil, err
+		}
+		scfg.ResultBackend = storage.NewFault(rb, faults)
+		if cfg.TraceDir != "" {
+			tb, err := storage.NewDir(cfg.TraceDir, tempAge)
+			if err != nil {
+				return nil, err
+			}
+			scfg.TraceBackend = storage.NewFault(tb, faults)
+		}
+	}
+	s, err := service.New(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +140,19 @@ func (s *Service) Computes() int64 { return s.s.Computes() }
 
 // ResultCacheStats returns the service's result cache counters.
 func (s *Service) ResultCacheStats() ResultCacheStats { return s.s.ResultCache().Stats() }
+
+// Sheds reports how many requests were refused at admission (HTTP 429)
+// because the compute limit and queue were both full.
+func (s *Service) Sheds() int64 { return s.s.Sheds() }
+
+// Scrub verifies every object in the result cache and trace store —
+// full decode, CRC and content-address checks — quarantining whatever
+// fails and sweeping stale temp files, then returns what it found.
+// Serve runs this automatically when ScrubInterval is set.
+func (s *Service) Scrub() ScrubSummary { return s.s.Scrub() }
+
+// ScrubSummary re-exports one scrub pass's findings.
+type ScrubSummary = service.ScrubSummary
 
 // Serve runs the results service until ctx is cancelled, then shuts
 // down gracefully: the cancellation reaches every in-flight request's
