@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-replay bench-service fmt vet docs
+.PHONY: all build test race bench bench-engine bench-replay bench-service bench-cluster cover fmt vet docs
 
 all: build test
 
@@ -37,6 +37,18 @@ bench-replay:
 # p50/p99 latency over real HTTP) and records BENCH_service.json.
 bench-service:
 	sh scripts/bench_service.sh BENCH_service.json
+
+# bench-cluster runs the cluster-tier benchmarks (warm local hit vs
+# warm peer-fetch vs cold-compute proxy hop over an in-process
+# two-node fleet) and records BENCH_cluster.json.
+bench-cluster:
+	sh scripts/bench_cluster.sh BENCH_cluster.json
+
+# cover collects statement coverage across internal packages and
+# enforces the storage+service floor (scripts/check_coverage.sh).
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	sh scripts/check_coverage.sh coverage.out
 
 # docs checks the published markdown (broken relative links) and runs
 # the committed Example functions.

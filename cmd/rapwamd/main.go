@@ -8,6 +8,7 @@
 //	rapwamd -results results [-tracedir traces] [-addr :8080] [-par N] [-shards K]
 //	        [-max-computes N] [-max-queue N] [-compute-timeout D]
 //	        [-scrub D] [-sweep-age D] [-chaos SPEC] [-v]
+//	        [-peers URL,URL,... -self URL]
 //
 // Endpoints (see docs/API.md for parameters and cache-key semantics):
 //
@@ -35,6 +36,15 @@
 // wraps both stores in a deterministic fault injector for testing,
 // e.g. -chaos seed=7,readerr=0.1,writeerr=0.05,bitflip=0.05.
 //
+// Clustering: -peers lists every member's base URL (this node's
+// included) and -self names this node's own entry. Members then form a
+// peer-fetch tier — each daemon serves its local objects to the others
+// under /v1/blobs/, local cache misses fetch from peers and write
+// through locally — and route each cold computation to its
+// deterministic owner (rendezvous hashing), so a fleet of N replicas
+// runs every experiment cell exactly once cluster-wide. A dead peer
+// degrades to local compute (X-Degraded: peer-proxy) and rejoins warm.
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the cancellation
 // reaches in-flight grid computations (and the emulator's instruction
 // loop) end to end, so draining is prompt even mid-sweep and neither
@@ -53,14 +63,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 
 	"repro/internal/cliflag"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -77,15 +90,31 @@ func main() {
 		scrub     = flag.Duration("scrub", 0, "background scrub period: verify both stores, quarantine corruption, sweep temps (0 = off)")
 		sweepAge  = flag.Duration("sweep-age", time.Hour, "age past which stale temp files and quarantined objects are swept")
 		chaos     = flag.String("chaos", "", "fault-injection spec wrapping both stores, e.g. seed=7,readerr=0.1,bitflip=0.05 (testing only)")
+		peers     = flag.String("peers", "", "comma-separated base URLs of every cluster member, this node included (peer-fetch tier + cross-node single-flight)")
+		self      = flag.String("self", "", "this node's own base URL, matching its entry in -peers (required with -peers)")
 		verbose   = flag.Bool("v", false, "log requests and computations on stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: rapwamd [-addr :8080] [-results DIR] [-tracedir DIR] [-par N] [-shards K] [-max-computes N] [-max-queue N] [-compute-timeout D] [-scrub D] [-sweep-age D] [-chaos SPEC] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: rapwamd [-addr :8080] [-results DIR] [-tracedir DIR] [-par N] [-shards K] [-max-computes N] [-max-queue N] [-compute-timeout D] [-scrub D] [-sweep-age D] [-chaos SPEC] [-peers URLS -self URL] [-v]")
 		os.Exit(2)
 	}
 	if *computes < 0 || *queue < 0 {
 		fmt.Fprintln(os.Stderr, "rapwamd: -max-computes and -max-queue must be >= 0")
+		os.Exit(2)
+	}
+	// Validate the chaos spec up front so a typo'd knob is a startup
+	// error naming the flag, not a daemon that launched without the
+	// faults the operator asked for.
+	if *chaos != "" {
+		if _, err := storage.ParseFaults(*chaos); err != nil {
+			fmt.Fprintf(os.Stderr, "rapwamd: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	peerList, err := parsePeers(*peers, *self)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapwamd:", err)
 		os.Exit(2)
 	}
 	parN := resolveWorkers("par", *par)
@@ -106,6 +135,8 @@ func main() {
 		StaleTempAge:   *sweepAge,
 		ScrubInterval:  *scrub,
 		Chaos:          *chaos,
+		Peers:          peerList,
+		SelfURL:        *self,
 		DrainTimeout:   *drain,
 	}
 	if *chaos != "" {
@@ -116,6 +147,9 @@ func main() {
 		rapwam.SetProgress(func(msg string) { fmt.Fprintf(os.Stderr, "rapwamd: grid: %s\n", msg) })
 	}
 
+	if len(peerList) > 0 {
+		fmt.Fprintf(os.Stderr, "rapwamd: cluster of %d (self %s)\n", len(peerList), *self)
+	}
 	fmt.Fprintf(os.Stderr, "rapwamd: serving on %s (results %s, traces %s, emulator %s)\n",
 		*addr, *resultDir, orNone(*traceDir), rapwam.EmulatorVersion())
 	if err := rapwam.Serve(ctx, cfg); err != nil {
@@ -130,6 +164,44 @@ func orNone(s string) string {
 		return "(none)"
 	}
 	return s
+}
+
+// parsePeers validates the -peers/-self pair: every entry must be an
+// http(s) URL with a host, and -self must appear in the list. Errors
+// name the flag so a misconfigured fleet fails loudly at startup.
+func parsePeers(peers, self string) ([]string, error) {
+	if strings.TrimSpace(peers) == "" {
+		if self != "" {
+			return nil, fmt.Errorf("-self set without -peers")
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, fmt.Errorf("-peers requires -self naming this node's own URL")
+	}
+	var list []string
+	selfListed := false
+	for _, raw := range strings.Split(peers, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("-peers entry %q: want http(s)://host[:port]", raw)
+		}
+		list = append(list, raw)
+		if strings.TrimRight(raw, "/") == strings.TrimRight(self, "/") {
+			selfListed = true
+		}
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	if !selfListed {
+		return nil, fmt.Errorf("-self %q is not listed in -peers", self)
+	}
+	return list, nil
 }
 
 // resolveWorkers validates a worker-count flag, exiting with one line

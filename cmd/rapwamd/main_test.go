@@ -1,0 +1,50 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		peers   string
+		self    string
+		want    []string
+		wantErr string // substring the error must contain; "" = success
+	}{
+		{"unset", "", "", nil, ""},
+		{"two-members", "http://a:1,http://b:1", "http://a:1",
+			[]string{"http://a:1", "http://b:1"}, ""},
+		{"whitespace-and-empties", " http://a:1 , ,http://b:1 ", "http://a:1",
+			[]string{"http://a:1", "http://b:1"}, ""},
+		{"trailing-slash-self", "http://a:1/,http://b:1", "http://a:1",
+			[]string{"http://a:1/", "http://b:1"}, ""},
+		{"https", "https://a:1,https://b:1", "https://b:1",
+			[]string{"https://a:1", "https://b:1"}, ""},
+		{"self-without-peers", "", "http://a:1", nil, "-self set without -peers"},
+		{"peers-without-self", "http://a:1,http://b:1", "", nil, "-peers requires -self"},
+		{"self-not-listed", "http://a:1,http://b:1", "http://c:1", nil, "not listed in -peers"},
+		{"no-scheme", "a:1,http://b:1", "http://b:1", nil, "want http(s)"},
+		{"bad-scheme", "ftp://a:1,http://b:1", "http://b:1", nil, "want http(s)"},
+		{"no-host", "http://,http://b:1", "http://b:1", nil, "want http(s)"},
+		{"only-commas", ",,,", "http://a:1", nil, "-peers is empty"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parsePeers(tc.peers, tc.self)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parsePeers(%q, %q) error %v, want mention of %q", tc.peers, tc.self, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parsePeers(%q, %q): %v", tc.peers, tc.self, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parsePeers(%q, %q) = %v, want %v", tc.peers, tc.self, got, tc.want)
+			}
+		})
+	}
+}

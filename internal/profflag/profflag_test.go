@@ -1,0 +1,116 @@
+package profflag
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// failCollector records errors the way the CLIs' fatal handlers would,
+// without exiting the test process.
+func failCollector(t *testing.T) (func(error), *[]error) {
+	t.Helper()
+	var errs []error
+	return func(err error) {
+		t.Logf("profflag fail: %v", err)
+		errs = append(errs, err)
+	}, &errs
+}
+
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	fail, errs := failCollector(t)
+
+	stop := Start(cpu, mem, fail)
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+
+	if len(*errs) != 0 {
+		t.Fatalf("profiling reported errors: %v", *errs)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	mem := filepath.Join(dir, "mem.pprof")
+	fail, errs := failCollector(t)
+
+	stop := Start("", mem, fail)
+	stop()
+	st1, err := os.Stat(mem)
+	if err != nil {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	// Second and third stops must be no-ops: no error, no rewrite.
+	stop()
+	stop()
+	st2, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*errs) != 0 {
+		t.Fatalf("repeated stop reported errors: %v", *errs)
+	}
+	if !st1.ModTime().Equal(st2.ModTime()) || st1.Size() != st2.Size() {
+		t.Fatal("repeated stop rewrote the heap profile")
+	}
+}
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	fail, errs := failCollector(t)
+	stop := Start("", "", fail)
+	stop()
+	stop()
+	if len(*errs) != 0 {
+		t.Fatalf("no-op profiling reported errors: %v", *errs)
+	}
+}
+
+// TestFailOnUnwritablePath: an uncreatable profile path goes through
+// the caller's fail handler (which, like the CLIs' fatal handlers,
+// does not return — modeled here with panic/recover), and a stop that
+// failed stays a no-op on re-entry instead of failing again.
+func TestFailOnUnwritablePath(t *testing.T) {
+	var got []error
+	fail := func(err error) { got = append(got, err); panic(err) }
+
+	func() {
+		defer func() { recover() }()
+		Start(filepath.Join(t.TempDir(), "no", "such", "cpu.pprof"), "", fail)
+	}()
+	if len(got) == 0 {
+		t.Fatal("uncreatable CPU profile path reported no error")
+	}
+
+	got = nil
+	stop := Start("", filepath.Join(t.TempDir(), "no", "such", "mem.pprof"), fail)
+	func() {
+		defer func() { recover() }()
+		stop()
+	}()
+	if len(got) != 1 {
+		t.Fatalf("unwritable heap profile reported %d errors, want 1", len(got))
+	}
+	// The idempotence guard flipped before the failing write, so a
+	// fatal handler's deferred re-entry is a no-op, not a loop.
+	stop()
+	if len(got) != 1 {
+		t.Fatal("re-entering a failed stop reported the error again")
+	}
+}

@@ -320,6 +320,13 @@ func (c *ResultCache) lookup(k CacheKey, record bool) (body []byte, source strin
 		// costs one recompute, never a wrong answer.
 		return miss()
 	}
+	// A tiered backend marks peer-fetched reads; the entry still goes
+	// through full envelope verification below — a peer's word is
+	// never trusted over the checks.
+	layer := "disk"
+	if bs, ok := rc.(interface{ BlobSource() string }); ok {
+		layer = bs.BlobSource()
+	}
 	body, err = io.ReadAll(rc)
 	rc.Close()
 	if err != nil {
@@ -339,7 +346,7 @@ func (c *ResultCache) lookup(k CacheKey, record bool) (body []byte, source strin
 		c.diskHits.Add(1)
 	}
 	c.remember(h, body)
-	return body, "disk", true
+	return body, layer, true
 }
 
 // quarantine moves a bad entry aside (falling back to deletion like

@@ -61,6 +61,23 @@ type Config struct {
 	// (Server.Scrub: full verification of both stores, quarantining
 	// what fails, plus a temp sweep) at that period under Serve.
 	ScrubInterval time.Duration
+	// Peers lists every cluster member's base URL (http://host:port),
+	// including this node's own (SelfURL). With two or more distinct
+	// members the result cache — and the trace store, when attached —
+	// become cluster-backed: local misses fetch from peers' blob APIs
+	// and write through locally, and cold computes route to the cell's
+	// rendezvous owner so the fleet runs each cell exactly once
+	// cluster-wide. Empty (or just this node) disables clustering.
+	Peers []string
+	// SelfURL is this node's own base URL, matching its entry in Peers.
+	SelfURL string
+	// PeerClient is the HTTP client for peer blob fetches and proxied
+	// computes (nil: a 10-second-timeout default).
+	PeerClient *http.Client
+	// PeerWrap, when non-nil, wraps each store's peer-fetch backend —
+	// the cluster tests inject storage.Fault here to make the wire
+	// hostile.
+	PeerWrap func(b storage.Backend) storage.Backend
 	// Log, when non-nil, receives one line per notable server event
 	// (startup, compute begin/end, cache write failures, scrubs).
 	Log func(msg string)
@@ -76,6 +93,13 @@ type Server struct {
 	mux     *http.ServeMux
 	flights flightGroup
 	start   time.Time
+
+	// cluster is nil on a solo node. resultTier/traceTier are the
+	// Tiered compositions when clustered (their Local() is what the
+	// blob API serves).
+	cluster    *cluster
+	resultTier *storage.Tiered
+	traceTier  *storage.Tiered
 
 	requests atomic.Int64
 	errors   atomic.Int64
@@ -104,29 +128,61 @@ func New(cfg Config) (*Server, error) {
 	if tempAge <= 0 {
 		tempAge = tracestore.StaleTempAge
 	}
-	var cache *ResultCache
+	// Resolve the LOCAL backends first: they are what this node
+	// mutates, scrubs, and serves to peers over the blob API.
+	var localResult storage.Backend
 	if cfg.ResultBackend != nil {
-		cache = NewResultCacheOn(cfg.ResultBackend)
+		localResult = cfg.ResultBackend
 	} else {
-		var err error
-		cache, err = OpenResultCacheDir(cfg.ResultDir, tempAge)
-		if err != nil {
-			return nil, err
+		if cfg.ResultDir == "" {
+			return nil, fmt.Errorf("service: empty result cache directory")
 		}
+		d, err := storage.NewDir(cfg.ResultDir, tempAge)
+		if err != nil {
+			return nil, fmt.Errorf("service: result cache: %w", err)
+		}
+		localResult = d
 	}
-	s := &Server{cfg: cfg, cache: cache, start: time.Now()}
-	s.flights.adm = newAdmission(cfg.MaxComputes, cfg.MaxQueue)
-	s.flights.timeout = cfg.ComputeTimeout
+	var localTrace storage.Backend
 	switch {
 	case cfg.TraceBackend != nil:
-		s.store = tracestore.NewOn(cfg.TraceBackend)
+		localTrace = cfg.TraceBackend
 	case cfg.TraceDir != "":
-		store, err := tracestore.OpenDir(cfg.TraceDir, tempAge)
+		d, err := storage.NewDir(cfg.TraceDir, tempAge)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("tracestore: %w", err)
 		}
-		s.store = store
+		localTrace = d
 	}
+
+	s := &Server{cfg: cfg, start: time.Now()}
+	clu, err := newCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = clu
+
+	// When clustered, both stores sit on a Tiered composition: local
+	// first, peer-fetch with local write-through on miss. Everything
+	// above the Backend interface — cache verification, quarantining,
+	// the trace codec's CRCs — is unchanged, which is the point: a
+	// corrupt peer blob heals exactly like a corrupt local one.
+	resultB, traceB := localResult, localTrace
+	if clu != nil {
+		s.resultTier = storage.NewTiered(localResult, clu.peerBackend("results", cfg.PeerWrap))
+		resultB = s.resultTier
+		if localTrace != nil {
+			s.traceTier = storage.NewTiered(localTrace, clu.peerBackend("traces", cfg.PeerWrap))
+			traceB = s.traceTier
+		}
+	}
+	s.cache = NewResultCacheOn(resultB)
+	if traceB != nil {
+		s.store = tracestore.NewOn(traceB)
+	}
+
+	s.flights.adm = newAdmission(cfg.MaxComputes, cfg.MaxQueue)
+	s.flights.timeout = cfg.ComputeTimeout
 	if s.store != nil {
 		experiments.SetStore(s.store)
 	}
@@ -143,6 +199,14 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{bench}", s.handleTrace)
+	// The blob API serves this node's LOCAL objects to peers (the
+	// cluster read tier). Serving the local backend — never the Tiered
+	// wrapper — means a miss here is final: peers cannot bounce a
+	// lookup around the fleet.
+	mux.Handle("/v1/blobs/results/", http.StripPrefix("/v1/blobs/results/", storage.BlobHandler(localResult)))
+	if localTrace != nil {
+		mux.Handle("/v1/blobs/traces/", http.StripPrefix("/v1/blobs/traces/", storage.BlobHandler(localTrace)))
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -221,9 +285,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			components[name] = "ok"
 		}
 	}
-	probe("result_cache", s.cache.Backend())
+	probe("result_cache", localBackend(s.cache.Backend()))
 	if s.store != nil {
-		probe("trace_store", s.store.Backend())
+		probe("trace_store", localBackend(s.store.Backend()))
+	}
+	if s.cluster != nil {
+		// Peer reachability is informational: a dead peer degrades the
+		// cluster tier (this node falls back to local compute), it does
+		// not make this node unhealthy — draining survivors because a
+		// peer died would turn one failure into an outage.
+		up, total := s.cluster.reachable(time.Second)
+		state := "ok"
+		if up < total {
+			state = "degraded"
+		}
+		components["peers"] = fmt.Sprintf("%s (%d/%d reachable)", state, up, total)
 	}
 	body := map[string]any{
 		"status":           "ok",
@@ -252,6 +328,7 @@ type statsBody struct {
 	EngineRuns      int64             `json:"engine_runs"`
 	ResultCache     CacheStats        `json:"result_cache"`
 	TraceStore      *tracestore.Stats `json:"trace_store,omitempty"`
+	Cluster         *clusterStatsBody `json:"cluster,omitempty"`
 	EmulatorVersion string            `json:"emulator_version"`
 	CodecVersion    int               `json:"codec_version"`
 	Parallelism     int               `json:"parallelism"`
@@ -278,6 +355,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		body.TraceStore = &st
+	}
+	if s.cluster != nil {
+		cb := &clusterStatsBody{
+			Self:            s.cluster.self,
+			Peers:           s.cluster.peers,
+			ProxiedComputes: s.cluster.proxied.Load(),
+			ProxyFallbacks:  s.cluster.proxyFallbacks.Load(),
+			ProxiedServes:   s.cluster.proxiedServes.Load(),
+		}
+		if s.resultTier != nil {
+			st := s.resultTier.Stats()
+			cb.ResultPeer = &st
+		}
+		if s.traceTier != nil {
+			st := s.traceTier.Stats()
+			cb.TracePeer = &st
+		}
+		body.Cluster = cb
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -318,11 +413,18 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := CacheKey{Experiment: name, Params: canonicalParams(ps)}
+	// A request another node already proxied once is served entirely
+	// locally — fetch, compute, or fail — never proxied again, so a
+	// stale peer list cannot bounce a request around the fleet.
+	proxied := r.Header.Get(proxyHeader) != ""
+	if proxied && s.cluster != nil {
+		s.cluster.proxiedServes.Add(1)
+	}
 
 	body, source, ok := s.cache.Get(key)
 	var degraded []string
 	if !ok {
-		res, err := s.compute(r.Context(), key, ps, run)
+		res, err := s.compute(r.Context(), key, ps, run, proxied)
 		if err != nil {
 			switch {
 			case errors.Is(err, errShed):
@@ -383,9 +485,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // (cancelled cells are evicted from every memo layer), or in the worst
 // case joins another doomed flight and loops again. Shed and
 // compute-timeout errors are final — never retried here.
-func (s *Server) compute(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) (flightResult, error) {
+func (s *Server) compute(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error), proxied bool) (flightResult, error) {
 	for {
-		res, err := s.computeOnce(ctx, key, ps, run)
+		res, err := s.computeOnce(ctx, key, ps, run, proxied)
 		if err != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			continue
@@ -394,7 +496,7 @@ func (s *Server) compute(ctx context.Context, key CacheKey, ps []param, run func
 	}
 }
 
-func (s *Server) computeOnce(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error)) (flightResult, error) {
+func (s *Server) computeOnce(ctx context.Context, key CacheKey, ps []param, run func(context.Context) (any, error), proxied bool) (flightResult, error) {
 	return s.flights.do(ctx, key.hash(), func(cctx context.Context) (flightResult, error) {
 		// Double check under the flight: a racing request may have
 		// completed (and cached) this cell between our miss and this
@@ -403,13 +505,33 @@ func (s *Server) computeOnce(ctx context.Context, key CacheKey, ps []param, run 
 		if body, src, ok := s.cache.peek(key); ok {
 			return flightResult{body: body, src: src}, nil
 		}
-		s.computes.Add(1)
-		s.logf("computing %s?%s", key.Experiment, key.Params)
-		t0 := time.Now()
 		// The degraded flag rides the compute context: the grid marks
 		// it when a trace-store failure forces the storeless path, and
 		// every waiter on this flight reports the same components.
 		cctx, flag := storage.WithDegraded(cctx)
+		// Cross-node single-flight: a cold cell another member owns is
+		// proxied to the owner (one flight here covers all local
+		// waiters; the owner's own flight group covers the fleet). An
+		// unreachable or unusable owner degrades to computing locally —
+		// a dead peer costs the fleet duplicate work, never an outage.
+		if s.cluster != nil && !proxied {
+			if owner := s.cluster.ownerOf(key.hash()); owner != s.cluster.self {
+				res, final, err := s.proxyCompute(cctx, owner, key, ps)
+				if err == nil {
+					res.degraded = mergeDegraded(res.degraded, flag.Components())
+					return res, nil
+				}
+				if final {
+					return flightResult{}, err
+				}
+				storage.MarkDegraded(cctx, "peer-proxy")
+				s.cluster.proxyFallbacks.Add(1)
+				s.logf("proxy of %s?%s to owner %s failed (%v); computing locally", key.Experiment, key.Params, owner, err)
+			}
+		}
+		s.computes.Add(1)
+		s.logf("computing %s?%s", key.Experiment, key.Params)
+		t0 := time.Now()
 		v, err := run(cctx)
 		if err != nil {
 			s.logf("compute %s?%s failed after %v: %v", key.Experiment, key.Params, time.Since(t0), err)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,13 @@ type Faults struct {
 	// one random bit of that write is flipped before it reaches the
 	// inner backend — silent media corruption. The commit succeeds.
 	BitFlip float64
+	// ReadFlip is the probability, per Get, that one random bit of the
+	// returned stream is flipped — corruption in flight (a hostile
+	// wire or a bad NIC), as opposed to BitFlip's corruption at rest.
+	// The read "succeeds"; only content verification can catch it.
+	// Wrapping a Peer backend with this is how the cluster tests model
+	// a peer serving damaged blobs.
+	ReadFlip float64
 	// MaxLatency, when positive, sleeps a uniform [0, MaxLatency)
 	// before every operation.
 	MaxLatency time.Duration
@@ -65,6 +73,7 @@ type Fault struct {
 	injectedOps    int64
 	tornWrites     int64
 	bitFlips       int64
+	readFlips      int64
 }
 
 // NewFault wraps inner with deterministic fault injection.
@@ -85,6 +94,13 @@ func (b *Fault) Injected() (reads, writes, ops, torn, flips int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.injectedReads, b.injectedWrites, b.injectedOps, b.tornWrites, b.bitFlips
+}
+
+// InjectedReadFlips returns how many read-path bit flips have fired.
+func (b *Fault) InjectedReadFlips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.readFlips
 }
 
 // roll draws one uniform [0,1) variate (and applies latency) under the
@@ -234,6 +250,28 @@ func (b *Fault) Get(name string) (io.ReadCloser, error) {
 		}
 		return &failingReader{rc: rc, failAfter: b.randInt63n(64 << 10), name: name}, nil
 	}
+	// Only roll for a read flip when the knob is set, so existing
+	// seeded fault sequences are unchanged when the feature is off.
+	if b.f.ReadFlip > 0 && b.roll() < b.f.ReadFlip {
+		rc, err := b.inner.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		// Read the object fully and flip one bit at a uniform position
+		// in its actual length, so the damage is guaranteed to land and
+		// is deterministic regardless of the caller's read-chunk sizes.
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) > 0 {
+			bit := b.randInt63n(int64(len(data)) * 8)
+			data[bit/8] ^= 1 << (bit % 8)
+			b.count(&b.readFlips)
+		}
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
 	return b.inner.Get(name)
 }
 
@@ -336,7 +374,7 @@ func ParseFaults(spec string) (Faults, error) {
 				return f, fmt.Errorf("fault spec latency=%q: want a non-negative duration", val)
 			}
 			f.MaxLatency = d
-		case "readerr", "writeerr", "operr", "tornwrite", "bitflip":
+		case "readerr", "writeerr", "operr", "tornwrite", "bitflip", "readflip":
 			p, err := strconv.ParseFloat(val, 64)
 			if err != nil || p < 0 || p > 1 {
 				return f, fmt.Errorf("fault spec %s=%q: want a probability in [0,1]", key, val)
@@ -352,9 +390,11 @@ func ParseFaults(spec string) (Faults, error) {
 				f.TornWrite = p
 			case "bitflip":
 				f.BitFlip = p
+			case "readflip":
+				f.ReadFlip = p
 			}
 		default:
-			keys := []string{"seed", "readerr", "writeerr", "operr", "tornwrite", "bitflip", "latency"}
+			keys := []string{"seed", "readerr", "writeerr", "operr", "tornwrite", "bitflip", "readflip", "latency"}
 			sort.Strings(keys)
 			return f, fmt.Errorf("fault spec: unknown key %q (known: %s)", key, strings.Join(keys, ", "))
 		}

@@ -10,17 +10,23 @@
 //
 // The Backend interface follows the swappable-backend pattern (one
 // behavior, several interchangeable implementations): a flat namespace
-// of atomically-replaced objects with streaming reads. Three
-// implementations ship in this package:
+// of atomically-replaced objects with streaming reads. The
+// implementations shipping in this package:
 //
 //   - Dir — the production backend: one local directory, writes via
 //     temp file + atomic rename (concurrent writers race benignly,
 //     readers only observe complete objects);
 //   - Mem — an in-memory backend for tests and benchmarks;
+//   - Peer — an HTTP client backend over the blob protocol other
+//     rapwamd nodes serve (BlobHandler), reads routed owner-first by
+//     rendezvous hashing;
+//   - Tiered — local-first composition with peer-fetch + local
+//     write-through on miss: the cluster read tier;
 //   - Fault — a deterministic fault-injection wrapper over any inner
 //     backend: a seeded PRNG injects read/write/op errors, latency,
-//     torn writes and bit flips, so every store and serving path can
-//     be tested against a hostile disk.
+//     torn writes and bit flips (at rest and in flight), so every
+//     store and serving path can be tested against a hostile disk or
+//     wire.
 //
 // NewRetry adds bounded retry-with-backoff for transient errors around
 // any backend. Higher layers classify errors with IsTransient (worth

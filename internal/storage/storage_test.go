@@ -3,251 +3,28 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
-	"strings"
-	"sync"
 	"testing"
 	"time"
 )
 
-// backends returns one fresh instance of every shipped backend, so the
-// contract tests below run identically over all of them.
-func backends(t *testing.T) map[string]Backend {
-	t.Helper()
-	dir, err := NewDir(filepath.Join(t.TempDir(), "store"), 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return map[string]Backend{"dir": dir, "mem": NewMem()}
-}
-
-func put(t *testing.T, b Backend, name, content string) {
-	t.Helper()
-	if err := b.Put(name, func(w io.Writer) error {
-		_, err := io.WriteString(w, content)
-		return err
-	}); err != nil {
-		t.Fatalf("put %q: %v", name, err)
-	}
-}
-
-func get(t *testing.T, b Backend, name string) string {
-	t.Helper()
-	rc, err := b.Get(name)
-	if err != nil {
-		t.Fatalf("get %q: %v", name, err)
-	}
-	defer rc.Close()
-	data, err := io.ReadAll(rc)
-	if err != nil {
-		t.Fatalf("read %q: %v", name, err)
-	}
-	return string(data)
-}
-
-func TestBackendRoundTrip(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			put(t, b, "a.bin", "hello")
-			if got := get(t, b, "a.bin"); got != "hello" {
-				t.Fatalf("round trip: got %q", got)
-			}
-			// Replace atomically.
-			put(t, b, "a.bin", "world")
-			if got := get(t, b, "a.bin"); got != "world" {
-				t.Fatalf("replace: got %q", got)
-			}
-			info, err := b.Stat("a.bin")
-			if err != nil || info.Size != 5 {
-				t.Fatalf("stat: %+v, %v", info, err)
-			}
-		})
-	}
-}
-
-func TestBackendMissIsNotExist(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			if _, err := b.Get("nope.bin"); !errors.Is(err, fs.ErrNotExist) {
-				t.Fatalf("get miss: %v", err)
-			}
-			if _, err := b.Stat("nope.bin"); !errors.Is(err, fs.ErrNotExist) {
-				t.Fatalf("stat miss: %v", err)
-			}
-			if err := b.Delete("nope.bin"); !errors.Is(err, fs.ErrNotExist) {
-				t.Fatalf("delete miss: %v", err)
-			}
-		})
-	}
-}
+// The generic Backend contract lives in storagetest and runs over
+// every implementation from contract_test.go. This file keeps the
+// tests that reach into implementation specifics (raw os errors, the
+// on-disk temp layout) and the package's error-taxonomy helpers.
 
 // The dir backend must surface misses as RAW os errors, because the
 // trace store's callers match with os.IsNotExist, which does not
 // unwrap %w chains.
 func TestDirMissMatchesOsIsNotExist(t *testing.T) {
-	b := backends(t)["dir"]
-	if _, err := b.Get("nope.bin"); !os.IsNotExist(err) {
+	d, err := NewDir(filepath.Join(t.TempDir(), "store"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get("nope.bin"); !os.IsNotExist(err) {
 		t.Fatalf("dir get miss must satisfy os.IsNotExist, got %v", err)
-	}
-}
-
-func TestBackendPutFailureLeavesNoTrace(t *testing.T) {
-	boom := errors.New("generator exploded")
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			put(t, b, "keep.bin", "original")
-			err := b.Put("keep.bin", func(w io.Writer) error {
-				io.WriteString(w, "partial garbage")
-				return boom
-			})
-			if !errors.Is(err, boom) {
-				t.Fatalf("put must return the callback error identically, got %v", err)
-			}
-			if got := get(t, b, "keep.bin"); got != "original" {
-				t.Fatalf("failed put replaced the object: %q", got)
-			}
-			// A failed put of a NEW object must not create it.
-			if err := b.Put("new.bin", func(w io.Writer) error { return boom }); !errors.Is(err, boom) {
-				t.Fatal(err)
-			}
-			if _, err := b.Stat("new.bin"); !errors.Is(err, fs.ErrNotExist) {
-				t.Fatalf("failed put created the object: %v", err)
-			}
-		})
-	}
-}
-
-func TestBackendPutPanicCleansUp(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			func() {
-				defer func() { recover() }()
-				b.Put("x.bin", func(w io.Writer) error {
-					io.WriteString(w, "half")
-					panic("writer died")
-				})
-			}()
-			if _, err := b.Stat("x.bin"); !errors.Is(err, fs.ErrNotExist) {
-				t.Fatalf("panicking put left an object: %v", err)
-			}
-			if d, ok := b.(*Dir); ok {
-				entries, err := os.ReadDir(d.Root())
-				if err != nil {
-					t.Fatal(err)
-				}
-				for _, e := range entries {
-					if strings.HasSuffix(e.Name(), ".tmp") {
-						t.Fatalf("panicking put stranded temp %s", e.Name())
-					}
-				}
-			}
-		})
-	}
-}
-
-func TestBackendWriterSeeks(t *testing.T) {
-	// The trace codec back-patches its header; both shipped backends
-	// must hand Put an io.WriteSeeker.
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			err := b.Put("patched.bin", func(w io.Writer) error {
-				ws, ok := w.(io.WriteSeeker)
-				if !ok {
-					return fmt.Errorf("writer is %T, not an io.WriteSeeker", w)
-				}
-				if _, err := io.WriteString(ws, "????rest"); err != nil {
-					return err
-				}
-				if _, err := ws.Seek(0, io.SeekStart); err != nil {
-					return err
-				}
-				_, err := io.WriteString(ws, "head")
-				return err
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := get(t, b, "patched.bin"); got != "headrest" {
-				t.Fatalf("patched object: %q", got)
-			}
-		})
-	}
-}
-
-func TestBackendListAndNamespaces(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			put(t, b, "b.bin", "1")
-			put(t, b, "a.bin", "2")
-			put(t, b, QuarantinePrefix+"c.bin", "3")
-			root, err := b.List("")
-			if err != nil {
-				t.Fatal(err)
-			}
-			if fmt.Sprint(root) != "[a.bin b.bin]" {
-				t.Fatalf("root list: %v (quarantine must not leak into the root namespace)", root)
-			}
-			quar, err := b.List(QuarantinePrefix)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if fmt.Sprint(quar) != "[quarantine/c.bin]" {
-				t.Fatalf("quarantine list: %v", quar)
-			}
-			// Absent sub-namespace is empty, not an error.
-			none, err := b.List("absent/")
-			if err != nil || len(none) != 0 {
-				t.Fatalf("absent namespace: %v, %v", none, err)
-			}
-		})
-	}
-}
-
-func TestBackendRenameQuarantines(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			put(t, b, "bad.bin", "damaged")
-			if err := b.Rename("bad.bin", QuarantinePrefix+"bad.bin"); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := b.Stat("bad.bin"); !errors.Is(err, fs.ErrNotExist) {
-				t.Fatalf("rename left the source: %v", err)
-			}
-			if got := get(t, b, QuarantinePrefix+"bad.bin"); got != "damaged" {
-				t.Fatalf("quarantined content: %q", got)
-			}
-		})
-	}
-}
-
-func TestBackendSweepAgesOutQuarantine(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			put(t, b, "live.bin", "keep me")
-			put(t, b, QuarantinePrefix+"old.bin", "age me out")
-			if d, ok := b.(*Dir); ok {
-				old := time.Now().Add(-2 * time.Hour)
-				os.Chtimes(filepath.Join(d.Root(), "quarantine", "old.bin"), old, old)
-			} else {
-				time.Sleep(10 * time.Millisecond)
-			}
-			cutoff := time.Hour
-			if _, ok := b.(*Mem); ok {
-				cutoff = time.Millisecond
-			}
-			if n := b.Sweep(cutoff); n != 1 {
-				t.Fatalf("sweep removed %d objects, want 1", n)
-			}
-			if _, err := b.Stat(QuarantinePrefix + "old.bin"); !errors.Is(err, fs.ErrNotExist) {
-				t.Fatalf("aged quarantine object survived: %v", err)
-			}
-			if got := get(t, b, "live.bin"); got != "keep me" {
-				t.Fatalf("sweep touched a live object: %q", got)
-			}
-		})
 	}
 }
 
@@ -278,38 +55,6 @@ func TestDirSweepRemovesStaleTemps(t *testing.T) {
 	}
 }
 
-func TestBackendConcurrentPuts(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			var wg sync.WaitGroup
-			for i := 0; i < 8; i++ {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					content := strings.Repeat(fmt.Sprintf("writer-%d ", i), 100)
-					b.Put("contested.bin", func(w io.Writer) error {
-						_, err := io.WriteString(w, content)
-						return err
-					})
-				}(i)
-			}
-			wg.Wait()
-			// Whoever won, the object must be one writer's COMPLETE
-			// output — never interleaved or truncated.
-			got := get(t, b, "contested.bin")
-			matched := false
-			for i := 0; i < 8; i++ {
-				if got == strings.Repeat(fmt.Sprintf("writer-%d ", i), 100) {
-					matched = true
-				}
-			}
-			if !matched {
-				t.Fatalf("contested object is not any single writer's output (%d bytes)", len(got))
-			}
-		})
-	}
-}
-
 func TestValidName(t *testing.T) {
 	good := []string{"a.bin", "quarantine/a.bin", "sub/deep.bin"}
 	bad := []string{"", "/abs", "trail/", "a//b", "./x", "../x", "a/../b"}
@@ -325,25 +70,11 @@ func TestValidName(t *testing.T) {
 	}
 }
 
-func TestProbe(t *testing.T) {
-	for bname, b := range backends(t) {
-		t.Run(bname, func(t *testing.T) {
-			if err := Probe(b); err != nil {
-				t.Fatal(err)
-			}
-			// The probe cleans up after itself.
-			names, err := b.List("")
-			if err != nil || len(names) != 0 {
-				t.Fatalf("probe left droppings: %v, %v", names, err)
-			}
-		})
+func TestProbeBrokenBackend(t *testing.T) {
+	b := NewFault(NewMem(), Faults{WriteErr: 1})
+	if err := Probe(b); err == nil {
+		t.Fatal("probe of a write-dead backend must fail")
 	}
-	t.Run("broken", func(t *testing.T) {
-		b := NewFault(NewMem(), Faults{WriteErr: 1})
-		if err := Probe(b); err == nil {
-			t.Fatal("probe of a write-dead backend must fail")
-		}
-	})
 }
 
 func TestErrorClassification(t *testing.T) {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_cluster.sh — run the cluster-tier benchmarks (warm local-disk
+# hit vs warm peer-fetch vs cold-compute proxy hop, each a full HTTP
+# request against an in-process two-node fleet) and record the result
+# as BENCH_cluster.json, so the cluster read path's three price points
+# are captured per PR next to the serving-layer numbers.
+#
+# Usage: scripts/bench_cluster.sh [output.json]
+#   BENCH_COUNT=N   repetitions per benchmark (default 1)
+#   BENCH_FILTER=RE benchmarks to run (default the cluster suite)
+set -eu
+
+out="${1:-BENCH_cluster.json}"
+count="${BENCH_COUNT:-1}"
+filter="${BENCH_FILTER:-BenchmarkCluster}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$filter" -benchmem -count "$count" ./internal/service > "$tmp" || {
+    status=$?
+    cat "$tmp"
+    echo "bench_cluster.sh: go test -bench failed" >&2
+    exit "$status"
+}
+cat "$tmp"
+
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { printf "[" }
+$1 ~ /^Benchmark/ {
+    if (n++) printf ","
+    printf "\n  {\"name\":\"%s\",\"iterations\":%s", $1, $2
+    # remaining fields come in value/unit pairs (ns/op, B/op, ...)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]+/, "_", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    printf ",\"go\":\"%s\"}", goversion
+}
+END { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -69,6 +69,17 @@ type ServeConfig struct {
 	// (see cmd/rapwamd -chaos). Strictly for fault-tolerance testing:
 	// the service must keep returning correct answers under it.
 	Chaos string
+	// Peers lists every cluster member's base URL (http://host:port),
+	// this node's own included. With two or more distinct members the
+	// result cache (and trace store, when attached) become
+	// cluster-backed: local misses fetch from peers' blob APIs before
+	// computing, and cold computes route to the cell's rendezvous
+	// owner so a fleet runs each cell exactly once cluster-wide. See
+	// cmd/rapwamd -peers / -self.
+	Peers []string
+	// SelfURL is this node's own base URL, matching its entry in
+	// Peers. Required when Peers is set.
+	SelfURL string
 	// DrainTimeout bounds graceful shutdown (default 5s). Shutdown is
 	// normally much faster: cancelling the serve context also cancels
 	// every in-flight request's computation.
@@ -98,6 +109,8 @@ func NewService(cfg ServeConfig) (*Service, error) {
 		ComputeTimeout: cfg.ComputeTimeout,
 		StaleTempAge:   cfg.StaleTempAge,
 		ScrubInterval:  cfg.ScrubInterval,
+		Peers:          cfg.Peers,
+		SelfURL:        cfg.SelfURL,
 		Log:            cfg.Log,
 	}
 	if cfg.Chaos != "" {
