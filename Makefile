@@ -12,6 +12,10 @@ build:
 test:
 	$(GO) test ./...
 
+# race covers every concurrent subsystem; internal/core and
+# internal/mem run their sharded-execution suites (ExecShards > 1)
+# under the detector here, which is what keeps the speculative
+# dispatcher's cross-goroutine memory accesses honest.
 race:
 	$(GO) test -race ./internal/core/ ./internal/mem/ ./internal/trace/ ./internal/cache/ ./internal/experiments/ ./internal/tracestore/ ./internal/bench/ ./internal/service/ ./internal/storage/
 

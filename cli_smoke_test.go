@@ -95,6 +95,12 @@ func TestCLIBadFlagsExitNonZeroNamingTheFlag(t *testing.T) {
 			[]string{"-pes", "abc"}, 2, "-pes"},
 		{"tracegen-negative-shards", "tracegen",
 			[]string{"generate", "-tracedir", tmp, "-shards", "-2"}, 1, "shards"},
+		{"tracegen-negative-exec-shards", "tracegen",
+			[]string{"generate", "-tracedir", tmp, "-exec-shards", "-2"}, 1, "exec-shards"},
+		{"experiments-negative-exec-shards", "experiments",
+			[]string{"-exp", "table1", "-exec-shards", "-3"}, 2, "exec-shards"},
+		{"rapwam-negative-exec-shards", "rapwam",
+			[]string{"-bench", "deriv", "-exec-shards", "-1"}, 1, "exec-shards"},
 		{"tracegen-no-subcommand", "tracegen",
 			nil, 2, "usage"},
 		{"rapwamd-malformed-chaos", "rapwamd",
@@ -128,11 +134,11 @@ func TestCLIHelpDocumentsFlags(t *testing.T) {
 		args     []string
 		mentions []string
 	}{
-		{"rapwam", []string{"-h"}, []string{"-bench", "-trace", "-cpuprofile"}},
-		{"rapwamd", []string{"-h"}, []string{"-peers", "-self", "-chaos", "-max-computes"}},
+		{"rapwam", []string{"-h"}, []string{"-bench", "-trace", "-cpuprofile", "-exec-shards"}},
+		{"rapwamd", []string{"-h"}, []string{"-peers", "-self", "-chaos", "-max-computes", "-exec-shards"}},
 		{"tracegen", []string{"-h"}, []string{"generate", "verify"}},
 		{"cachesim", []string{"-h"}, []string{"-sweep", "-pes", "-tracedir"}},
-		{"experiments", []string{"-h"}, []string{"-exp", "-pes", "-shards"}},
+		{"experiments", []string{"-h"}, []string{"-exp", "-pes", "-shards", "-exec-shards"}},
 	} {
 		t.Run(tc.bin, func(t *testing.T) {
 			code, out := runCLI(t, tc.bin, tc.args...)

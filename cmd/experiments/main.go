@@ -70,6 +70,7 @@ func main() {
 		target   = flag.Float64("target", 2, "MLIPS target")
 		par      = cliflag.Par(flag.CommandLine)
 		shards   = cliflag.Shards(flag.CommandLine)
+		execSh   = cliflag.ExecShards(flag.CommandLine)
 		traceDir = flag.String("tracedir", "", "persistent trace store directory (consulted before any emulator run)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -80,6 +81,7 @@ func main() {
 	validatePEs("maxpes", *maxPEs)
 	parN := resolveWorkers("par", *par)
 	shardsN := resolveWorkers("shards", *shards)
+	execN := resolveWorkers("exec-shards", *execSh)
 
 	// Ctrl-C / SIGTERM cancel the experiment context: in-flight grid
 	// cells (including the emulator's instruction loop) abort promptly,
@@ -96,6 +98,7 @@ func main() {
 
 	rapwam.SetParallelism(parN)
 	rapwam.SetShards(shardsN)
+	rapwam.SetExecShards(execN)
 	var store *rapwam.TraceStore
 	if *traceDir != "" {
 		s, err := rapwam.SetTraceDir(*traceDir)

@@ -168,6 +168,7 @@ func cmdGenerate(args []string) {
 		mode    = fs.String("mode", "auto", "auto (parallel + 1-PE sequential baseline) | par | seq")
 		par     = cliflag.Par(fs)
 		shards  = cliflag.Shards(fs)
+		execSh  = cliflag.ExecShards(fs)
 		verbose = fs.Bool("v", false, "report each generated cell on stderr")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the generation to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after generation) to this file")
@@ -181,6 +182,10 @@ func cmdGenerate(args []string) {
 		fatal(err)
 	}
 	shardsN, err := cliflag.Resolve("shards", *shards)
+	if err != nil {
+		fatal(err)
+	}
+	execN, err := cliflag.Resolve("exec-shards", *execSh)
 	if err != nil {
 		fatal(err)
 	}
@@ -235,6 +240,7 @@ func cmdGenerate(args []string) {
 	}
 	rapwam.SetParallelism(parN)
 	rapwam.SetShards(shardsN)
+	rapwam.SetExecShards(execN)
 	if *verbose {
 		rapwam.SetProgress(func(msg string) {
 			fmt.Fprintf(os.Stderr, "tracegen: %s\n", msg)

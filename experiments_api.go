@@ -41,6 +41,21 @@ func SetShards(n int) { experiments.SetShards(n) }
 // Shards returns the current intra-cell parallelism width (default 1).
 func Shards() int { return experiments.Shards() }
 
+// SetExecShards configures sharded emulation: how many host goroutines
+// each engine run uses to speculate independent PEs' cycles in
+// parallel, with a deterministic merge back into the canonical
+// reference order. n <= 0 selects runtime.GOMAXPROCS(0); 1 restores
+// the serial dispatcher. Traces, results and stored bytes are
+// bit-identical at any setting, so warm trace stores stay valid
+// whichever mode wrote them. The experiment grid's worker budget is
+// shared with SetShards: at most max(1, B/max(shards, execShards))
+// cells run at once.
+func SetExecShards(n int) { experiments.SetExecShards(n) }
+
+// ExecShards returns the current emulator execution-shard width
+// (default 1, the serial dispatcher).
+func ExecShards() int { return experiments.ExecShards() }
+
 // SetProgress installs a callback receiving one short line per
 // completed experiment grid cell (nil disables progress reporting).
 // The callback may be invoked from multiple goroutines concurrently.

@@ -53,7 +53,13 @@ func compileCell(b *testing.B, name string) *isa.Code {
 // accumulates (refs, inferences).
 func runEngine(b *testing.B, code *isa.Code, pes int, sink trace.Sink, refs, inf *int64) {
 	b.Helper()
-	eng, err := core.New(code, core.Config{PEs: pes, Sink: sink})
+	runEngineShards(b, code, pes, 1, sink, refs, inf)
+}
+
+// runEngineShards is runEngine under the sharded dispatcher.
+func runEngineShards(b *testing.B, code *isa.Code, pes, shards int, sink trace.Sink, refs, inf *int64) {
+	b.Helper()
+	eng, err := core.New(code, core.Config{PEs: pes, Sink: sink, ExecShards: shards})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -94,6 +100,31 @@ func BenchmarkEngineRun(b *testing.B) {
 			}
 			reportEngineMetrics(b, refs, inf)
 		})
+	}
+}
+
+// BenchmarkEngineRunShards measures the sharded dispatcher
+// (core.Config.ExecShards) on the multi-PE cells it targets: 1 shard
+// is the serial dispatcher baseline, higher counts speculate
+// independent PEs' cycles on host goroutines and merge deterministically
+// (the trace is byte-identical, so this isolates wall-clock alone).
+// On a single-core host the >1 counts measure the mode's overhead
+// (snapshotting, footprint validation, merge); on multi-core hosts
+// they measure its scaling.
+func BenchmarkEngineRunShards(b *testing.B) {
+	for _, bench := range []string{"deriv", "qsort"} {
+		for _, shards := range []int{1, 2, 4} {
+			bench, shards := bench, shards
+			b.Run(nameCell(bench, 8)+"-s"+strconv.Itoa(shards), func(b *testing.B) {
+				code := compileCell(b, bench)
+				var refs, inf int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runEngineShards(b, code, 8, shards, trace.Discard, &refs, &inf)
+				}
+				reportEngineMetrics(b, refs, inf)
+			})
+		}
 	}
 }
 

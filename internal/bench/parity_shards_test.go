@@ -1,0 +1,120 @@
+package bench
+
+// Sharded-execution golden parity: the speculative per-PE dispatcher
+// (core.Config.ExecShards > 1) promises byte-identical RWT2 traces at
+// every shard count — same goldens, same content addresses, no
+// EmulatorVersion bump. This test runs the full pinned grid (every
+// benchmark in Names() at 1 and 8 PEs, sequential and parallel)
+// through the sharded engine at several shard counts and holds the
+// digests against the same golden file the serial dispatcher is pinned
+// to. A sequential or 1-PE cell exercises the mode's fall-through (no
+// epoch ever fires); the 8-PE parallel cells exercise the epoch
+// machinery end to end.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/tracestore"
+)
+
+func execShardCounts() []int {
+	counts := []int{2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func TestGoldenTraceParityShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark grid; skipped in -short")
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (generate with -update on the sequential suite): %v", goldenPath, err)
+	}
+	var goldens map[string]goldenCell
+	if err := json.Unmarshal(data, &goldens); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	for _, shards := range execShardCounts() {
+		for _, c := range parityCells() {
+			c, shards := c, shards
+			key := goldenKey(c.name, c.pes, c.seq)
+			t.Run(fmt.Sprintf("%dsh/%s", shards, key), func(t *testing.T) {
+				t.Parallel()
+				want, ok := goldens[key]
+				if !ok {
+					t.Fatalf("no golden for %s (regenerate with -update)", key)
+				}
+				got := traceFingerprintShards(t, c.name, c.pes, c.seq, shards)
+				if got.Refs != want.Refs {
+					t.Errorf("refs = %d, golden %d", got.Refs, want.Refs)
+				}
+				for pe := 0; pe < len(want.PerPE) && pe < len(got.PerPE); pe++ {
+					if got.PerPE[pe] != want.PerPE[pe] {
+						t.Errorf("PE %d refs = %d, golden %d", pe, got.PerPE[pe], want.PerPE[pe])
+					}
+				}
+				if got.SHA256 != want.SHA256 {
+					t.Errorf("RWT2 digest = %s, golden %s: sharded execution changed the emitted trace at %d shards",
+						got.SHA256, want.SHA256, shards)
+				}
+			})
+		}
+	}
+}
+
+// TestEnsureStoredShardsBytes pins the trace-store contract under
+// sharded generation: a store cold-filled with SetExecShards(2) holds
+// byte-identical files (and equal sidecars) to one filled with the
+// serial dispatcher, so warm stores stay valid whichever mode wrote
+// them.
+func TestEnsureStoredShardsBytes(t *testing.T) {
+	b, ok := ByName("qsort")
+	if !ok {
+		t.Fatal("qsort benchmark missing")
+	}
+	defer SetTraceStore(nil)
+	defer SetExecShards(1)
+
+	fill := func(shards int) ([]byte, RunRecord) {
+		t.Helper()
+		s, err := tracestore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetExecShards(shards)
+		SetTraceStore(s)
+		k, err := EnsureStored(context.Background(), b, 8, false)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		data, err := os.ReadFile(s.Path(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec RunRecord
+		if ok, err := s.LoadSidecar(k, &rec); err != nil || !ok {
+			t.Fatalf("shards=%d: sidecar: ok=%v err=%v", shards, ok, err)
+		}
+		return data, rec
+	}
+
+	serialBytes, serialRec := fill(1)
+	shardBytes, shardRec := fill(2)
+	if !bytes.Equal(shardBytes, serialBytes) {
+		t.Errorf("stored trace bytes differ: %d vs %d bytes", len(shardBytes), len(serialBytes))
+	}
+	serialJSON, _ := json.Marshal(serialRec)
+	shardJSON, _ := json.Marshal(shardRec)
+	if !bytes.Equal(shardJSON, serialJSON) {
+		t.Errorf("sidecars differ:\n shard  %s\n serial %s", shardJSON, serialJSON)
+	}
+}

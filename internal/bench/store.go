@@ -87,6 +87,33 @@ func GenWorkers() int {
 	return 1
 }
 
+// execShards is the configured emulator sharded-execution host-worker
+// count (0 = unset, meaning 1: the serial dispatcher).
+var execShards atomic.Int64
+
+// SetExecShards configures how many host goroutines the emulator uses
+// to speculate independent PEs' cycles in parallel (core.Config
+// ExecShards): n > 1 enables sharded execution for multi-PE parallel
+// runs, n = 1 restores the serial dispatcher, and n <= 0 selects
+// GOMAXPROCS. The emitted trace is byte-identical at every setting
+// (the merge replays the canonical reference order), so the golden
+// hashes and content addresses never move.
+func SetExecShards(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	execShards.Store(int64(n))
+}
+
+// ExecShards returns the configured sharded-execution host-worker
+// count (default 1).
+func ExecShards() int {
+	if n := int(execShards.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // StoreKey returns the trace-store key for a benchmark cell under the
 // current emulator version.
 func StoreKey(benchmark string, pes int, sequential bool) tracestore.Key {

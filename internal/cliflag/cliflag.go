@@ -20,6 +20,10 @@ const (
 	// cannot shard, and a GOMAXPROCS default would shrink the grid
 	// pool (the budget is shared) with nothing gained inside cells.
 	ShardsHelp = "intra-cell parallelism: set-shard replay workers per cache configuration and trace-encode workers per generation (0 = GOMAXPROCS)"
+	// ExecShardsHelp documents -exec-shards. Like -shards the default
+	// is 1: sharded emulation only pays off for multi-PE parallel
+	// cells, and grid tools share their worker budget with it.
+	ExecShardsHelp = "emulator execution shards: host goroutines speculating independent PEs' cycles inside one engine run, trace-identical to the serial dispatcher (0 = GOMAXPROCS, 1 = serial)"
 )
 
 // Par registers the -par flag on fs.
@@ -27,6 +31,9 @@ func Par(fs *flag.FlagSet) *int { return fs.Int("par", 0, ParHelp) }
 
 // Shards registers the -shards flag on fs.
 func Shards(fs *flag.FlagSet) *int { return fs.Int("shards", 1, ShardsHelp) }
+
+// ExecShards registers the -exec-shards flag on fs.
+func ExecShards(fs *flag.FlagSet) *int { return fs.Int("exec-shards", 1, ExecShardsHelp) }
 
 // Resolve validates a worker-count flag value: negative values are
 // rejected, 0 resolves to runtime.GOMAXPROCS(0), positive values pass

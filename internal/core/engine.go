@@ -58,6 +58,22 @@ type Config struct {
 	// StealInterval is the number of idle cycles between steal probes
 	// (default 4).
 	StealInterval int
+	// ExecShards sets the host-goroutine budget for the sharded
+	// execution mode: when > 1 (and PEs > 1, and ReferenceDispatch is
+	// off), stretches where several simulated PEs run straight-line
+	// code are executed speculatively in parallel — one goroutine per
+	// host shard, each driving a subset of the runnable PEs — and the
+	// per-PE reference batches are merged back in the reference
+	// round-robin's canonical (cycle, PE) order, so the emitted trace
+	// and statistics are byte- and value-identical to runMulti's (the
+	// golden digests pin this at several shard counts with no
+	// EmulatorVersion bump). Soundness rests on the machine's own
+	// independence model: goals of a parallel conjunction never share
+	// unbound variables (what CGE conditions guarantee), hence
+	// concurrently speculating PEs touch disjoint words. Programs
+	// violating that model must use ExecShards <= 1 (the default) or
+	// ReferenceDispatch. 0 or 1 disables sharded execution.
+	ExecShards int
 	// ReferenceDispatch forces the plain one-instruction-per-tick
 	// round-robin scheduler with every poll and steal sweep executed
 	// for real (no quantum dispatch, no inert-poll elision). The
@@ -191,7 +207,21 @@ type Engine struct {
 	goalsStolen   int64
 	stealProbes   int64
 	kills         int64
-	checkFails    int64
+
+	// Sharded execution state (Config.ExecShards > 1; see sharded.go).
+	// execShards is the effective host-worker budget (0 = mode off);
+	// shards holds one reusable speculation context per PE; epochHold
+	// forces serial cycles after an epoch that made no parallel
+	// progress or was discarded on a cross-shard conflict; specMark is
+	// the per-word mark array of the commit-time footprint check; and
+	// scratch absorbs the discarded emissions of snapshot replays.
+	execShards     int
+	shards         []shardCtx
+	parts          []*shardCtx
+	epochHold      int
+	conflictStreak int
+	specMark       []uint8
+	scratch        mem.ShardStage
 
 	// debug enables a per-cycle execution trace on stdout (tests only).
 	debug bool
@@ -223,6 +253,15 @@ func New(code *isa.Code, cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, code: code, mem: m, elide: !cfg.ReferenceDispatch}
 	for pe := 0; pe < cfg.PEs; pe++ {
 		e.workers = append(e.workers, newWorker(e, pe))
+	}
+	// Sharded execution needs several PEs to overlap and is pointless
+	// (and undefined) under the reference scheduler.
+	if cfg.ExecShards > 1 && cfg.PEs > 1 && !cfg.ReferenceDispatch {
+		e.execShards = cfg.ExecShards
+		if e.execShards > cfg.PEs {
+			e.execShards = cfg.PEs
+		}
+		e.shards = make([]shardCtx, cfg.PEs)
 	}
 	return e, nil
 }
@@ -262,6 +301,8 @@ func (e *Engine) Run() (*Result, error) {
 		err = e.runReference()
 	case e.cfg.PEs == 1:
 		err = e.runSingle()
+	case e.execShards > 1:
+		err = e.runSharded()
 	default:
 		err = e.runMulti()
 	}
@@ -546,11 +587,11 @@ func (e *Engine) stats() Stats {
 		GoalsStolen:   e.goalsStolen,
 		StealProbes:   e.stealProbes,
 		Kills:         e.kills,
-		CheckFails:    e.checkFails,
 	}
 	c := e.mem.Counter() // complete: Run flushes before building stats
 	for _, w := range e.workers {
 		s.Inferences += w.inferences
+		s.CheckFails += w.checkFails
 		s.Instructions = append(s.Instructions, w.instrs)
 		s.WorkRefs = append(s.WorkRefs, c.ByPE[w.pe])
 		s.RunCycles = append(s.RunCycles, w.runCycles)

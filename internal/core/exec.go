@@ -504,7 +504,7 @@ func (w *worker) step() {
 
 	case isa.OpCheckGround:
 		if !w.groundCheck(w.regs[ins.R1]) {
-			w.eng.checkFails++
+			w.checkFails++
 			w.pc = ins.N
 			return
 		}
@@ -512,7 +512,7 @@ func (w *worker) step() {
 
 	case isa.OpCheckIndep:
 		if !w.indepCheck(w.regs[ins.R1], w.regs[ins.R2]) {
-			w.eng.checkFails++
+			w.checkFails++
 			w.pc = ins.N
 			return
 		}
@@ -595,6 +595,13 @@ func (w *worker) pushLocalValue(d mem.Word) mem.Word {
 // report goal/query failure when none exists.
 func (w *worker) fail() {
 	if w.b == none {
+		// Failing out of the whole goal (or query) is an observable
+		// scheduler action; speculation must stop one step short and
+		// let the serial dispatcher take it. Backtracking to a choice
+		// point below stays pure and speculates fine.
+		if w.spec {
+			panic(errSpecUnsafe)
+		}
 		if w.gm != none {
 			w.parGoalFail()
 			return

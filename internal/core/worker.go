@@ -48,6 +48,7 @@ type worker struct {
 	killFlag   bool
 	instrs     int64
 	inferences int64
+	checkFails int64
 	runCycles  int64
 	waitCycles int64
 	idleCycles int64
@@ -67,6 +68,15 @@ type worker struct {
 	waitSeq   uint64
 	idleInert bool
 	idleSeq   uint64
+
+	// spec is set while this worker executes speculatively on a shard
+	// goroutine (Engine.runEpoch). Speculation may only take pure
+	// straight-line steps; the risky-opcode screen in specRun keeps it
+	// on that path statically, and the guards in fail, noteSchedEvent
+	// and setState abort it dynamically (panic(errSpecUnsafe)) should
+	// an impure step slip through, rolling the worker back to its last
+	// completed cycle for exact serial re-execution.
+	spec bool
 }
 
 const (
@@ -259,12 +269,20 @@ func (w *worker) tick() {
 // message send). Every such site must call this — the quantum
 // dispatcher and the inert-poll elision both rely on the sequence to
 // know when a skipped poll could have changed outcome.
-func (w *worker) noteSchedEvent() { w.eng.schedSeq++ }
+func (w *worker) noteSchedEvent() {
+	if w.spec {
+		panic(errSpecUnsafe)
+	}
+	w.eng.schedSeq++
+}
 
 // setState transitions the worker's scheduler state, maintaining the
 // engine's count of running workers (the quantum dispatcher's cheap
 // eligibility pre-check). Every state change goes through here.
 func (w *worker) setState(s WorkerState) {
+	if w.spec {
+		panic(errSpecUnsafe)
+	}
 	if w.state == StateRun {
 		w.eng.nRun--
 	}

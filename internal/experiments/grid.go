@@ -91,6 +91,37 @@ func Shards() int {
 	return 1
 }
 
+// execShards is the configured emulator execution-shard width (0 =
+// unset, meaning 1: the serial dispatcher).
+var execShards atomic.Int64
+
+// SetExecShards configures how many host goroutines the emulator uses
+// inside one engine run to speculate independent PEs' cycles in
+// parallel (bench.SetExecShards → core.Config.ExecShards). n <= 0
+// selects GOMAXPROCS. The emitted traces — and therefore every result
+// and stored byte — are identical at any setting.
+//
+// Like Shards, the width spends the shared grid budget: runGrid
+// divides the cell pool by the larger of the two intra-cell widths, so
+// SetParallelism(B) bounds total concurrency whether it is spent
+// across cells or inside one.
+func SetExecShards(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	execShards.Store(int64(n))
+	bench.SetExecShards(n)
+}
+
+// ExecShards returns the current emulator execution-shard width
+// (default 1).
+func ExecShards() int {
+	if n := int(execShards.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // progressFn gives the stored callback a fixed concrete type so
 // atomic.Value accepts nil installs.
 type progressFn func(msg string)
@@ -122,8 +153,11 @@ func progress(format string, args ...any) {
 func runGrid(ctx context.Context, n int, fn func(i int) error) error {
 	workers := Parallelism()
 	// Intra-cell shards spend the same global budget: B workers ÷ K
-	// shards per cell ≈ B goroutines doing real work either way.
-	if k := Shards(); k > 1 {
+	// shards per cell ≈ B goroutines doing real work either way. Cache
+	// replay shards and emulator execution shards are phases of one
+	// cell, never concurrent with each other, so the divisor is their
+	// maximum, not their product.
+	if k := max(Shards(), ExecShards()); k > 1 {
 		workers /= k
 		if workers < 1 {
 			workers = 1

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -136,6 +137,17 @@ type Memory struct {
 	counter *trace.Counter
 	sink    trace.Sink
 	batch   trace.BatchSink // non-nil when sink implements BatchSink
+
+	// shards routes references into per-PE staging buffers while the
+	// sharded execution mode runs an epoch (core.Config.ExecShards):
+	// each speculating worker appends to its own ShardStage from its
+	// own goroutine, and the engine later merges the per-PE batches
+	// into the shared staging buffer in canonical (cycle, PE) order via
+	// StageMerged. Outside epochs shards is nil, so the normal path
+	// pays one predictable not-taken branch per reference. shardsBuf
+	// retains the backing slice between epochs.
+	shards    []*ShardStage
+	shardsBuf []*ShardStage
 
 	// classTab maps addr>>alignShift to pe<<3|area. It is shared,
 	// read-only, and cached per layout (engines of the same shape are
@@ -317,6 +329,16 @@ func (m *Memory) Classify(addr int) (pe int, area trace.Area) {
 // to the accessing PE with the given object classification. pe must be
 // a valid worker index (< Layout.Workers).
 func (m *Memory) Read(pe int, addr int, obj trace.ObjType) Word {
+	if m.shards != nil {
+		if s := m.shards[pe]; s != nil {
+			s.Refs = append(s.Refs, Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpRead, Obj: obj})
+			// Atomic load: another shard may be writing this word
+			// concurrently (a cross-shard conflict). The engine detects
+			// the overlap afterwards and discards the epoch, but the
+			// racing access itself must stay untorn and race-clean.
+			return Word(atomic.LoadUint64((*uint64)(&m.words[addr])))
+		}
+	}
 	n := uint(m.nStage)
 	if n >= stageRefs {
 		m.Flush()
@@ -330,6 +352,20 @@ func (m *Memory) Read(pe int, addr int, obj trace.ObjType) Word {
 // Write stores w at addr, emitting a write reference. pe must be a
 // valid worker index (< Layout.Workers).
 func (m *Memory) Write(pe int, addr int, w Word, obj trace.ObjType) {
+	if m.shards != nil {
+		if s := m.shards[pe]; s != nil {
+			s.Refs = append(s.Refs, Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpWrite, Obj: obj})
+			// The atomic swap both publishes the write race-cleanly and
+			// captures exactly the word it displaced: even when several
+			// shards race on one address, the captured Old values chain
+			// (each one is some other write's New, except the pre-epoch
+			// word), which is what lets a conflicted epoch's rollback
+			// recover the base value of a multi-writer word.
+			old := Word(atomic.SwapUint64((*uint64)(&m.words[addr]), uint64(w)))
+			s.Undo = append(s.Undo, UndoEntry{Addr: uint32(addr), Old: old, New: w})
+			return
+		}
+	}
 	n := uint(m.nStage)
 	if n >= stageRefs {
 		m.Flush()
@@ -370,6 +406,96 @@ func (m *Memory) Flush() {
 		}
 	}
 	m.nStage = 0
+}
+
+// ShardStage is a per-PE reference staging buffer for the sharded
+// execution mode. While a shard is installed with SetShard, that PE's
+// Read/Write references append here (a growable slice owned by one
+// speculating goroutine) instead of the shared staging buffer; the
+// engine merges completed cycles back into the canonical stream with
+// StageMerged and discards abandoned speculation with MarkDirtyRefs.
+//
+// Undo is the value log of every speculated Write (address, the word
+// it displaced and the word it stored, in write order). Speculation is
+// rolled back by applying the log backward — a complete restore of the
+// epoch's memory effects, sound even where a trail unwind is not (pop-
+// and-repush sequences overwrite stack words no trail entry covers).
+// The Old/New pair also makes a cross-shard write conflict recoverable:
+// the displaced values of all writes to one address chain through each
+// other, so the pre-epoch word is the one Old no conflicting write
+// produced (see core's discarded-epoch rollback).
+type ShardStage struct {
+	Refs []Ref
+	Undo []UndoEntry
+}
+
+// UndoEntry records one speculated write: the word it displaced (via
+// atomic swap, so Old is exact even under a write/write race) and the
+// word it stored.
+type UndoEntry struct {
+	Addr uint32
+	Old  Word
+	New  Word
+}
+
+// SetShard installs a per-PE staging buffer (nil detaches that PE).
+// Must not be called while speculating goroutines are running.
+func (m *Memory) SetShard(pe int, s *ShardStage) {
+	if m.shardsBuf == nil {
+		m.shardsBuf = make([]*ShardStage, m.layout.Workers)
+	}
+	m.shardsBuf[pe] = s
+	m.shards = m.shardsBuf
+}
+
+// ClearShards detaches every per-PE staging buffer, restoring the
+// single-branch normal reference path.
+func (m *Memory) ClearShards() {
+	if m.shardsBuf != nil {
+		clear(m.shardsBuf)
+	}
+	m.shards = nil
+}
+
+// StageMerged appends already-ordered references to the shared staging
+// buffer, flushing at the usual capacity boundaries. Because RWT2
+// encoding is independent of AddBatch granularity, the resulting byte
+// stream is identical to the same references arriving one Read/Write
+// at a time — this is how the sharded execution mode re-serializes
+// per-PE speculation into the canonical trace.
+func (m *Memory) StageMerged(refs []Ref) {
+	for len(refs) > 0 {
+		n := copy(m.stage[m.nStage:], refs)
+		m.nStage += n
+		refs = refs[n:]
+		if m.nStage == stageRefs {
+			m.Flush()
+		}
+	}
+}
+
+// UndoWrites rolls back every write the shard speculated, newest
+// first, restoring the exact pre-speculation words, and resets the
+// log. The touched blocks stay dirty-marked (via Poke) so Release
+// still re-zeroes them.
+func (m *Memory) UndoWrites(s *ShardStage) {
+	for i := len(s.Undo) - 1; i >= 0; i-- {
+		u := s.Undo[i]
+		m.Poke(int(u.Addr), u.Old)
+	}
+	s.Undo = s.Undo[:0]
+}
+
+// MarkDirtyRefs folds only the dirty-block marks of references that
+// will never reach the sink or the counter (discarded speculation):
+// the written words must still be re-zeroed by Release, but the tally
+// and the trace may not see the references.
+func (m *Memory) MarkDirtyRefs(refs []Ref) {
+	dirty := m.dirty
+	for _, r := range refs {
+		block := uint(r.Addr) >> dirtyShift
+		dirty[block>>6] |= uint64(r.Op) << (block & 63)
+	}
 }
 
 // Peek reads addr without instrumentation. Host-side use only (answer

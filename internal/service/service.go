@@ -43,6 +43,12 @@ type Config struct {
 	// negative selects GOMAXPROCS). Results are bit-identical at any
 	// setting.
 	Shards int
+	// ExecShards sets sharded emulation — host goroutines speculating
+	// independent PEs' cycles inside each engine run — within the same
+	// shared grid budget (0 keeps the current setting, negative
+	// selects GOMAXPROCS, 1 is the serial dispatcher). Traces and
+	// results are bit-identical at any setting.
+	ExecShards int
 	// MaxComputes caps concurrent experiment computations (flights);
 	// 0 means unlimited. Cache hits are never throttled.
 	MaxComputes int
@@ -192,6 +198,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards != 0 {
 		experiments.SetShards(cfg.Shards)
 	}
+	if cfg.ExecShards != 0 {
+		experiments.SetExecShards(cfg.ExecShards)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -333,6 +342,7 @@ type statsBody struct {
 	CodecVersion    int               `json:"codec_version"`
 	Parallelism     int               `json:"parallelism"`
 	Shards          int               `json:"shards"`
+	ExecShards      int               `json:"exec_shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -351,6 +361,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CodecVersion:    trace.CodecVersion,
 		Parallelism:     experiments.Parallelism(),
 		Shards:          experiments.Shards(),
+		ExecShards:      experiments.ExecShards(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

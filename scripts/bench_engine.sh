@@ -1,6 +1,7 @@
 #!/bin/sh
 # bench_engine.sh — run the emulator benchmarks (bare engine and cold
-# trace generation, refs/s and MLIPS on deriv+qsort at 1/4/8 PEs, plus
+# trace generation, refs/s and MLIPS on deriv+qsort at 1/4/8 PEs, the
+# sharded dispatcher at 1/2/4 execution shards on the 8-PE cells, plus
 # the steady-state reference-path allocation check) and record the
 # result as BENCH_engine.json, so the emulator's performance trajectory
 # is captured per PR next to the cache-replay numbers.
