@@ -2,15 +2,53 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-engine bench-replay bench-service bench-cluster cover fmt vet docs
+# Third-party scanners are pinned here (not in go.mod: a tools.go
+# dependency would put them on the module graph and break hermetic
+# offline builds). `make audit` installs-and-runs them by version, so
+# CI and developers resolve identical binaries.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# Per-target budget for `make fuzz` (two targets run back to back).
+FUZZTIME ?= 30s
+
+.PHONY: all check build test race lint audit fuzz bench bench-engine bench-replay bench-service bench-cluster cover fmt vet docs
 
 all: build test
+
+# check is the full pre-push gate: everything CI's required jobs run.
+check: build test lint
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# lint is the repo-invariant gate: formatting, go vet, then the
+# rapwamlint analyzer suite (internal/lint, cmd/rapwamlint) —
+# determinism, errortaxonomy, hotpath, ctxfirst, versionbump, and the
+# //rapwam:allow annotation audit. Uses only the Go toolchain, so it
+# runs identically offline.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/rapwamlint ./...
+
+# audit layers the pinned third-party scanners on top of lint. Both
+# resolve their module by version at run time, so the target needs
+# network access the first time — which is why it is separate from
+# lint and optional outside CI.
+audit:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# fuzz exercises the two hostile-input surfaces: the compact trace
+# decoder and the fault-spec parser. Seeds live in each package's
+# testdata/fuzz corpus; new findings land there too.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzChunkReader -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzParseFaults -fuzztime $(FUZZTIME) ./internal/storage/
 
 # race covers every concurrent subsystem; internal/core and
 # internal/mem run their sharded-execution suites (ExecShards > 1)

@@ -1,0 +1,96 @@
+// Command rapwamlint runs the repo-invariant static analyzers
+// (internal/lint) over the given packages and exits nonzero on any
+// finding. It is wired into `make lint` and CI; see
+// docs/ARCHITECTURE.md "Enforced invariants" for what each analyzer
+// guards and which PR introduced the invariant.
+//
+// Usage:
+//
+//	rapwamlint [-only a,b] [-list] [-write-fingerprint] [packages]
+//
+// Findings are suppressed one at a time with a recorded reason:
+//
+//	//rapwam:allow <analyzer> <reason>
+//
+// on the offending line or the line above. Malformed annotations are
+// findings themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rapwamlint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	writeFP := fs.Bool("write-fingerprint", false,
+		"recompute and write "+lint.FingerprintPath+" (after a deliberate emission change + EmulatorVersion bump), then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: rapwamlint [flags] [packages]\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "rapwamlint: -only %s: unknown analyzer (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, moduleRoot, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapwamlint: %v\n", err)
+		return 2
+	}
+
+	if *writeFP {
+		path, err := lint.WriteFingerprint(pkgs, moduleRoot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapwamlint: %v\n", err)
+			return 2
+		}
+		fmt.Printf("rapwamlint: wrote %s\n", path)
+		return 0
+	}
+
+	diags := lint.Run(pkgs, moduleRoot, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rapwamlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

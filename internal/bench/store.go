@@ -166,6 +166,7 @@ func EnsureStored(ctx context.Context, b Benchmark, pes int, sequential bool) (t
 			// inherit — a cancelled or faulted generation must not
 			// poison callers with live contexts).
 			other := v.(*cellFlight)
+			//rapwam:allow determinism flight-wait select: both outcomes converge (re-check store / ctx.Err()), and nothing is emitted here
 			select {
 			case <-other.done:
 				if other.err == nil {

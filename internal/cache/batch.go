@@ -87,6 +87,7 @@ func (s *Sim) commitTotals(npes int, refs, writes int64, peRefs *[maxDirPEs]int6
 
 // --- fully associative (flat store) kernels ---
 
+//rapwam:hotpath
 func (s *Sim) replayWriteThroughFlat(refs []trace.Ref) {
 	npes, shift, flat, dir := s.cfg.PEs, s.lineShift, s.flat, s.dir
 	var peBus [maxDirPEs]int64
@@ -333,6 +334,7 @@ func (s *Sim) replayHybridFlat(refs []trace.Ref) {
 	s.commitTotals(npes, nRefs, nWrites, &peRefs)
 }
 
+//rapwam:hotpath
 func (s *Sim) replayCopybackFlat(refs []trace.Ref) {
 	npes, shift, flat := s.cfg.PEs, s.lineShift, s.flat
 	var nRefs, nWrites int64

@@ -2,6 +2,7 @@ package cliflag
 
 import (
 	"flag"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -45,5 +46,50 @@ func TestRegistration(t *testing.T) {
 	}
 	if *par != 3 || *shards != 2 {
 		t.Fatalf("parsed (par, shards) = (%d, %d), want (3, 2)", *par, *shards)
+	}
+}
+
+// TestResolveErrorPaths pins the rejection surface for every flag name
+// that routes through Resolve: any negative count fails, the error
+// names the exact flag and value the user typed (so the message is
+// actionable from any of the four commands), the zero value comes back
+// with the error, and the 0 = GOMAXPROCS convention is restated.
+func TestResolveErrorPaths(t *testing.T) {
+	for _, name := range []string{"par", "shards", "exec-shards"} {
+		for _, n := range []int{-1, -7, -1 << 30} {
+			got, err := Resolve(name, n)
+			if err == nil {
+				t.Errorf("Resolve(%q, %d): want error, got %d", name, n, got)
+				continue
+			}
+			if got != 0 {
+				t.Errorf("Resolve(%q, %d) = %d with error, want 0", name, n, got)
+			}
+			if want := fmt.Sprintf("-%s %d", name, n); !strings.Contains(err.Error(), want) {
+				t.Errorf("Resolve(%q, %d) error %q does not contain %q", name, n, err, want)
+			}
+			if !strings.Contains(err.Error(), "GOMAXPROCS") {
+				t.Errorf("Resolve(%q, %d) error %q does not restate the 0 = GOMAXPROCS convention", name, n, err)
+			}
+		}
+	}
+}
+
+// TestExecShardsRegistration pins -exec-shards like TestRegistration
+// pins -par and -shards: serial default, shared help text.
+func TestExecShardsRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	es := ExecShards(fs)
+	if *es != 1 {
+		t.Errorf("-exec-shards default = %d, want 1 (serial dispatcher)", *es)
+	}
+	if f := fs.Lookup("exec-shards"); f == nil || f.Usage != ExecShardsHelp {
+		t.Errorf("-exec-shards help text not the shared ExecShardsHelp")
+	}
+	if err := fs.Parse([]string{"-exec-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if *es != 4 {
+		t.Fatalf("parsed -exec-shards = %d, want 4", *es)
 	}
 }

@@ -363,6 +363,8 @@ func (e *Engine) runEpoch() {
 // no allocation after the first. Same-shard overlap is fine (a PE may
 // rewrite and re-read its own words freely); only cross-shard overlap
 // invalidates the epoch.
+//
+//rapwam:hotpath
 func (e *Engine) epochConflicts(parts []*shardCtx) bool {
 	if e.specMark == nil {
 		e.specMark = make([]uint8, e.mem.Size())

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AllowPrefix is the escape-hatch annotation: a finding is suppressed
+// by "//rapwam:allow <analyzer> <reason>" on the offending line or the
+// line directly above it. The reason is mandatory — the annotation is
+// a recorded decision, not a mute button.
+const AllowPrefix = "//rapwam:allow"
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// parsedAllow is one syntactically valid annotation.
+type parsedAllow struct {
+	analyzer string
+	reason   string
+	comment  *ast.Comment
+}
+
+// parseAllow splits an annotation comment. ok is false when the text
+// is not an allow annotation at all; a present-but-malformed
+// annotation returns ok true with problem set.
+func parseAllow(text string) (a parsedAllow, problem string, ok bool) {
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return a, "", false
+	}
+	rest := text[len(AllowPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //rapwam:allowdeterminism — not the annotation.
+		return a, "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return a, "missing analyzer name and reason", true
+	}
+	a.analyzer = fields[0]
+	if len(fields) < 2 {
+		return a, "missing reason (want //rapwam:allow <analyzer> <reason>)", true
+	}
+	a.reason = strings.Join(fields[1:], " ")
+	return a, "", true
+}
+
+// collectAllows gathers every valid suppression in the package set,
+// keyed so a diagnostic on the annotation's line or the line below is
+// covered. Malformed annotations are deliberately absent — they never
+// suppress anything (the Annotation analyzer reports them instead).
+func collectAllows(pkgs []*Package) map[allowKey]bool {
+	allowed := make(map[allowKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					a, problem, ok := parseAllow(c.Text)
+					if !ok || problem != "" || ByName(a.analyzer) == nil {
+						continue
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					file := pkg.Fset.Position(c.Pos()).Filename
+					allowed[allowKey{file, line, a.analyzer}] = true
+					allowed[allowKey{file, line + 1, a.analyzer}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// Annotation validates //rapwam:allow annotations themselves: a
+// malformed annotation (missing analyzer or reason) or one naming an
+// unknown analyzer is reported, never silently honored — and never
+// suppressible, so a typo cannot hide both itself and the finding it
+// meant to allow.
+var Annotation = &Analyzer{
+	Name: "annotation",
+	Doc:  "//rapwam:allow annotations must name a known analyzer and carry a reason",
+}
+
+// The Run hook is attached in init: its body consults the analyzer
+// registry, which mentions Annotation itself, and a direct literal
+// would be an initialization cycle.
+func init() { Annotation.Run = runAnnotation }
+
+func runAnnotation(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, problem, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				if problem != "" {
+					pass.Reportf(c.Pos(), "malformed %s annotation: %s", AllowPrefix, problem)
+					continue
+				}
+				if ByName(a.analyzer) == nil {
+					pass.Reportf(c.Pos(), "%s names unknown analyzer %q (known: %s)",
+						AllowPrefix, a.analyzer, strings.Join(analyzerNames(), ", "))
+				}
+			}
+		}
+	}
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}

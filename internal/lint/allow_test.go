@@ -1,0 +1,52 @@
+package lint
+
+import "testing"
+
+// TestParseAllow pins the annotation grammar: the escape hatch accepts
+// exactly "//rapwam:allow <analyzer> <reason>", reports what it cannot
+// accept, and ignores comments that merely share the prefix.
+func TestParseAllow(t *testing.T) {
+	tests := []struct {
+		text     string
+		ok       bool
+		problem  string
+		analyzer string
+		reason   string
+	}{
+		{"// an ordinary comment", false, "", "", ""},
+		{"//rapwam:hotpath", false, "", "", ""},
+		{"//rapwam:allowdeterminism smushed", false, "", "", ""},
+		{"//rapwam:allow", true, "missing analyzer name and reason", "", ""},
+		{"//rapwam:allow   ", true, "missing analyzer name and reason", "", ""},
+		{"//rapwam:allow determinism", true, "missing reason (want //rapwam:allow <analyzer> <reason>)", "", ""},
+		{"//rapwam:allow determinism the profiler stamp never reaches a trace", true, "", "determinism", "the profiler stamp never reaches a trace"},
+		{"//rapwam:allow hotpath\treused buffer", true, "", "hotpath", "reused buffer"},
+	}
+	for _, tt := range tests {
+		a, problem, ok := parseAllow(tt.text)
+		if ok != tt.ok || problem != tt.problem {
+			t.Errorf("parseAllow(%q) = problem %q, ok %v; want %q, %v", tt.text, problem, ok, tt.problem, tt.ok)
+			continue
+		}
+		if !ok || problem != "" {
+			continue
+		}
+		if a.analyzer != tt.analyzer || a.reason != tt.reason {
+			t.Errorf("parseAllow(%q) = (%q, %q), want (%q, %q)", tt.text, a.analyzer, a.reason, tt.analyzer, tt.reason)
+		}
+	}
+}
+
+// TestByName covers the registry both ways: every registered analyzer
+// resolves to itself, and an unknown name resolves to nil (which is
+// what makes a misspelled //rapwam:allow inert).
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if got := ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want the registered analyzer", a.Name, got)
+		}
+	}
+	if got := ByName("determinizm"); got != nil {
+		t.Errorf("ByName(determinizm) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,26 @@
+# rapwamlint emission fingerprint — regenerate with: go run ./cmd/rapwamlint -write-fingerprint
+# A diff in the shapes below means the byte layout of trace emission changed,
+# which requires a core.EmulatorVersion bump (stored traces are keyed by it).
+version: emu1
+sha256: 50058540fd3dddeb7ff8b68be489fef54b75fa3a624b994b23b7d33320bed4fc
+---
+emission fingerprint v1
+core.EmulatorVersion: "emu1"
+trace.CodecVersion: 1
+trace.MaxPEs: 64
+trace.NumAreas: 8
+trace.NumObjTypes: 13
+trace.codecChunkRefs: 8192
+trace.maxChunkRefs: 1048576
+mem.Align: 64
+struct trace.Ref:
+  Addr uint32
+  PE uint8
+  Op trace.Op
+  Obj trace.ObjType
+  _ uint8
+enum trace.Op: OpRead OpWrite
+enum trace.Area: AreaNone AreaHeap AreaLocal AreaControl AreaTrail AreaPDL AreaGoal AreaMsg
+enum trace.ObjType: ObjNone ObjEnvControl ObjEnvPVar ObjChoicePoint ObjHeap ObjTrail ObjPDL ObjParcallLocal ObjParcallGlobal ObjParcallCount ObjMarker ObjGoalFrame ObjMessage
+table trace.areaNames: "none" "heap" "local" "control" "trail" "pdl" "goal" "msg"
+table trace.objTable: "none" "envt/control" "envt/pvars" "choicepoint" "heap" "trail" "pdl" "parcall/local" "parcall/global" "parcall/counts" "marker" "goalframe" "message"

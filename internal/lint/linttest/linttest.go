@@ -1,0 +1,125 @@
+// Package linttest runs rapwamlint analyzers over fixture modules and
+// checks their findings against expectations written in the fixture
+// source itself, in the style of x/tools' analysistest:
+//
+//	sink.Add(k, v) // want `Add call inside map iteration`
+//
+// A `// want` comment holds one or more quoted regular expressions;
+// each must match the message of a distinct diagnostic reported by the
+// analyzers under test on that line. Diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, both fail
+// the test.
+//
+// Each fixture is a self-contained Go module (its own go.mod) under
+// the calling test's testdata directory, so the go tool ignores it
+// when building the real repo and the loader sees exactly the import
+// paths the fixture declares — including paths whose suffixes place
+// packages inside analyzer scopes (fix/internal/core is
+// determinism-scoped like repro/internal/core is).
+package linttest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the quoted expectation strings from a want comment:
+// double-quoted or backquoted Go string literals.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one unmet `// want` pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the fixture module rooted at dir (relative to the test's
+// working directory), runs the given analyzers, and matches the
+// surviving diagnostics against the fixture's `// want` comments. The
+// diagnostics are returned for any extra assertions.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: resolving %s: %v", dir, err)
+	}
+	pkgs, root, err := lint.Load(abs, "./...")
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("linttest: fixture %s matched no packages", dir)
+	}
+	diags := lint.Run(pkgs, root, analyzers)
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, pkg, c)...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// parseWants extracts the expectations of one comment, if it is a want
+// comment.
+func parseWants(t *testing.T, pkg *lint.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	const marker = "// want "
+	text, ok := strings.CutPrefix(c.Text, marker[:len(marker)-1])
+	if !ok {
+		return nil
+	}
+	p := pkg.Fset.Position(c.Pos())
+	var wants []*expectation
+	for _, quoted := range wantRe.FindAllString(text, -1) {
+		s, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want string %s: %v", p.Filename, p.Line, quoted, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, s, err)
+		}
+		wants = append(wants, &expectation{file: p.Filename, line: p.Line, re: re})
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s:%d: want comment with no quoted patterns", p.Filename, p.Line)
+	}
+	return wants
+}
+
+// consume marks the first unmet expectation matching d, reporting
+// whether one existed.
+func consume(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}

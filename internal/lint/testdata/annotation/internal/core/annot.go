@@ -1,0 +1,36 @@
+// Package core holds //rapwam:allow annotations in every state of
+// repair, deliberately inside the determinism scope: a malformed
+// annotation must be reported AND must fail to suppress the clock-read
+// finding next to it. The test asserts on the findings directly —
+// want-comments on these lines would themselves be annotation text.
+package core
+
+import "time"
+
+// BadBare sits above a bare annotation: reported as malformed, and the
+// time.Now finding below it survives.
+func BadBare() int64 {
+	//rapwam:allow
+	return time.Now().UnixNano()
+}
+
+// BadNoReason names an analyzer but gives no reason: reported, finding
+// survives.
+func BadNoReason() int64 {
+	//rapwam:allow determinism
+	return time.Now().UnixNano()
+}
+
+// BadUnknown names an analyzer that does not exist: reported, finding
+// survives.
+func BadUnknown() int64 {
+	//rapwam:allow determinizm the name is misspelled on purpose
+	return time.Now().UnixNano()
+}
+
+// Good carries a well-formed annotation: nothing reported, finding
+// suppressed.
+func Good() int64 {
+	//rapwam:allow determinism the fixture's one sanctioned clock read
+	return time.Now().UnixNano()
+}

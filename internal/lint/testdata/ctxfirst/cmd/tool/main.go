@@ -1,0 +1,14 @@
+// Command tool shows that package main may manufacture root contexts:
+// the command layer is exactly where they belong.
+package main
+
+import (
+	"context"
+
+	"fix/lib"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = lib.Get(ctx, "x")
+}

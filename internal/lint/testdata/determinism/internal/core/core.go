@@ -1,0 +1,87 @@
+// Package core is a determinism-scoped fixture: its import path ends
+// in internal/core, so every rule of the determinism analyzer applies
+// here exactly as it does in the real emulator core.
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Sink is a concrete ordered consumer; Add inside a map range is an
+// order-dependent emission.
+type Sink struct{ rows []string }
+
+// Add appends one row.
+func (s *Sink) Add(k string, v int) { s.rows = append(s.rows, k) }
+
+// Stamp reads the wall clock on the emission path: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a trace-affecting package`
+}
+
+// Elapsed measures with time.Since: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in a trace-affecting package`
+}
+
+// RunStamp carries the one sanctioned clock read: the allow annotation
+// suppresses the finding and records why.
+func RunStamp() int64 {
+	//rapwam:allow determinism run stamp is diagnostic metadata only, it never reaches a trace byte
+	return time.Now().UnixNano()
+}
+
+// EmitCounts emits rows in map order: flagged.
+func EmitCounts(m map[string]int, sink *Sink) {
+	for k, v := range m {
+		sink.Add(k, v) // want `Add call inside map iteration emits in map order`
+	}
+}
+
+// Stream sends keys in map order: flagged.
+func Stream(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// Keys accumulates in map order and never sorts: flagged.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration`
+	}
+	return keys
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom: the later sort
+// erases the iteration order, so no finding.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Wait races two ready-biased cases: flagged.
+func Wait(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Poll is the deterministic single-comm-case poll idiom: no finding.
+func Poll(cancel chan struct{}) bool {
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}

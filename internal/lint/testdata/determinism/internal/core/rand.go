@@ -1,0 +1,6 @@
+package core
+
+import "math/rand" // want `import of math/rand in a trace-affecting package`
+
+// Draw consumes the flagged import.
+func Draw() int { return rand.Int() }

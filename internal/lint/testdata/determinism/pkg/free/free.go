@@ -1,0 +1,8 @@
+// Package free sits outside the determinism scope: the same clock
+// read that is a finding in internal/core passes without comment here.
+package free
+
+import "time"
+
+// Stamp reads the wall clock, legitimately.
+func Stamp() int64 { return time.Now().UnixNano() }

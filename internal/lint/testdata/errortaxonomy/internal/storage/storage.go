@@ -1,0 +1,43 @@
+// Package storage is a stand-in for the production backend taxonomy:
+// the analyzer matches the Backend interface and the classifier
+// functions by this package's import-path suffix, so the fixture
+// exercises exactly the production matching rules.
+package storage
+
+import (
+	"errors"
+	"io"
+)
+
+// Backend mirrors the production interface shape.
+type Backend interface {
+	Put(name string, write func(w io.Writer) error) error
+	Get(name string) (io.ReadCloser, error)
+	Stat(name string) (int64, error)
+	List(prefix string) ([]string, error)
+	Delete(name string) error
+	Rename(old, new string) error
+}
+
+// Error is the stand-in wrapped backend failure.
+type Error struct{ Err error }
+
+func (e *Error) Error() string { return e.Err.Error() }
+
+// IsTransient reports whether err is retryable.
+func IsTransient(err error) bool {
+	var e *Error
+	return errors.As(err, &e)
+}
+
+// AsBackendError extracts the backend failure, if any.
+func AsBackendError(err error) (*Error, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// Transient marks err retryable.
+func Transient(err error) error { return &Error{Err: err} }

@@ -1,0 +1,103 @@
+// Package hot exercises the //rapwam:hotpath contract: marked
+// functions must stay free of defer, fmt, closures, appends and
+// dynamic dispatch; unmarked functions may use all of them.
+package hot
+
+import "fmt"
+
+// Sink consumes values through an interface: calling it from a marked
+// function is dynamic dispatch on the hot path.
+type Sink interface{ Add(int) }
+
+var calls int
+
+func note() { calls++ }
+
+// SumDefer pays a defer frame per invocation: flagged.
+//
+//rapwam:hotpath
+func SumDefer(xs []int) (n int) {
+	defer note() // want `defer in //rapwam:hotpath function SumDefer`
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// SumClosure captures through a closure: flagged.
+//
+//rapwam:hotpath
+func SumClosure(xs []int) int {
+	add := func(a, b int) int { return a + b } // want `closure in //rapwam:hotpath function SumClosure`
+	n := 0
+	for _, x := range xs {
+		n = add(n, x)
+	}
+	return n
+}
+
+// Collect grows a slice on the per-reference path: flagged.
+//
+//rapwam:hotpath
+func Collect(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append in //rapwam:hotpath function Collect`
+	}
+	return out
+}
+
+// Dump formats on the hot path: flagged.
+//
+//rapwam:hotpath
+func Dump(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x) // want `fmt\.Println in //rapwam:hotpath function Dump`
+	}
+}
+
+// Drain dispatches through an interface per element: flagged.
+//
+//rapwam:hotpath
+func Drain(xs []int, s Sink) {
+	for _, x := range xs {
+		s.Add(x) // want `interface method call .*Sink\.Add in //rapwam:hotpath function Drain`
+	}
+}
+
+// Fill is the sanctioned shape: indexed stores into a preallocated
+// buffer, concrete calls only. No findings.
+//
+//rapwam:hotpath
+func Fill(buf []int, xs []int) int {
+	n := 0
+	for _, x := range xs {
+		if n == len(buf) {
+			break
+		}
+		buf[n] = x
+		n++
+	}
+	return n
+}
+
+// Reuse appends into a reused scratch buffer: the allow annotation
+// records why the amortized growth is acceptable.
+//
+//rapwam:hotpath
+func Reuse(buf []int, xs []int) []int {
+	for _, x := range xs {
+		//rapwam:allow hotpath buf is a reused scratch buffer, so append amortizes to an indexed store
+		buf = append(buf, x)
+	}
+	return buf
+}
+
+// SumFree is unmarked: the same constructs pass without comment.
+func SumFree(xs []int) (n int) {
+	defer note()
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

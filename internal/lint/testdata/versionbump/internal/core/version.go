@@ -1,0 +1,7 @@
+// Package core carries the emulator version the emission fingerprint
+// guards, mirroring the production core package's role.
+package core
+
+// EmulatorVersion keys stored traces: any change to the emitted byte
+// layout must bump it.
+const EmulatorVersion = "fix1"

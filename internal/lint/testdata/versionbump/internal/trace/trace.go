@@ -1,0 +1,61 @@
+// Package trace is a minimal stand-in for the emission shapes the
+// versionbump analyzer fingerprints: the codec constants, the Ref
+// layout, the enumerations and the name tables.
+package trace
+
+// Codec geometry.
+const (
+	CodecVersion   = 1
+	MaxPEs         = 4
+	NumAreas       = 2
+	NumObjTypes    = 2
+	codecChunkRefs = 8
+	maxChunkRefs   = 64
+)
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+// Op values.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// Area classifies addresses.
+type Area uint8
+
+// Area values.
+const (
+	AreaNone Area = iota
+	AreaHeap
+)
+
+// ObjType classifies referenced objects.
+type ObjType uint8
+
+// ObjType values.
+const (
+	ObjNone ObjType = iota
+	ObjHeap
+)
+
+// Ref is one emitted memory reference.
+type Ref struct {
+	Addr uint32
+	PE   uint8
+	Op   Op
+	Obj  ObjType
+}
+
+var areaNames = [NumAreas]string{"none", "heap"}
+
+var objTable = [NumObjTypes]string{"none", "heap"}
+
+// Names keeps the tables referenced.
+func Names(a Area, o ObjType) (string, string) {
+	return areaNames[a], objTable[o]
+}
+
+var _ = codecChunkRefs
+var _ = maxChunkRefs

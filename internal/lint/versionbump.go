@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FingerprintPath is the checked-in fingerprint of the trace-emission-
+// relevant type shapes, relative to the module root. Regenerate with
+// `go run ./cmd/rapwamlint -write-fingerprint`.
+const FingerprintPath = "internal/lint/emission.fp"
+
+// VersionBump guards the trace store's keying invariant: a stored
+// trace is valid exactly as long as re-running its cell reproduces it
+// byte for byte, and the store trusts core.EmulatorVersion to say so.
+// The analyzer fingerprints every shape that feeds the emitted bytes —
+// the Ref struct layout, the Area/ObjType enumerations and Table 1
+// rows, the codec's version and chunk geometry, the mem alignment —
+// and compares against the checked-in fingerprint: an edit that moves
+// the fingerprint without bumping EmulatorVersion would silently serve
+// stale stored traces as current, so it is a finding at the edit site.
+var VersionBump = &Analyzer{
+	Name:    "versionbump",
+	Doc:     "changes to trace-emission shapes require a core.EmulatorVersion bump (fingerprint-checked)",
+	RunRepo: runVersionBump,
+}
+
+func runVersionBump(pass *RepoPass) {
+	fp, ok := ComputeFingerprint(pass.Pkgs)
+	if !ok {
+		return // trace/core not part of this run; nothing to compare
+	}
+	path := filepath.Join(pass.ModuleRoot, filepath.FromSlash(FingerprintPath))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		pass.Reportf(fp.Fset, fp.VersionPos,
+			"no checked-in emission fingerprint at %s: run `go run ./cmd/rapwamlint -write-fingerprint` and commit it", FingerprintPath)
+		return
+	}
+	recVersion, recSHA, recBody := parseFingerprintFile(string(raw))
+	switch {
+	case recSHA == fp.SHA && recVersion == fp.EmulatorVersion:
+		// Clean: shapes and version both match the recorded pair.
+	case recSHA != fp.SHA && recVersion == fp.EmulatorVersion:
+		pass.Reportf(fp.Fset, fp.VersionPos,
+			"trace-emission shapes changed (%s) but core.EmulatorVersion is still %q: stored traces keyed by it would replay with the wrong byte layout — bump EmulatorVersion, then refresh the fingerprint (`go run ./cmd/rapwamlint -write-fingerprint`)",
+			firstShapeDiff(recBody, fp.Render), fp.EmulatorVersion)
+	default:
+		// Version bumped (or the file predates it): shapes may or may
+		// not have moved, but the recorded pair is stale either way.
+		pass.Reportf(fp.Fset, fp.VersionPos,
+			"emission fingerprint at %s records version %q but core.EmulatorVersion is %q: refresh it (`go run ./cmd/rapwamlint -write-fingerprint`) so the next layout change is caught",
+			FingerprintPath, recVersion, fp.EmulatorVersion)
+	}
+}
+
+// Fingerprint is the computed emission-shape fingerprint.
+type Fingerprint struct {
+	// EmulatorVersion is the current core.EmulatorVersion value.
+	EmulatorVersion string
+	// Render is the canonical human-readable shape dump the hash
+	// covers.
+	Render string
+	// SHA is the hex sha256 of Render.
+	SHA string
+	// Fset/VersionPos anchor diagnostics at the EmulatorVersion const.
+	Fset       *token.FileSet
+	VersionPos token.Pos
+}
+
+// ComputeFingerprint renders the emission-relevant shapes from the
+// loaded packages. ok is false when the trace or core package is not
+// in the set (subset runs skip the check rather than guessing).
+func ComputeFingerprint(pkgs []*Package) (Fingerprint, bool) {
+	var tracePkg, corePkg, memPkg *Package
+	for _, p := range pkgs {
+		switch {
+		case pathInScope(p.Path, []string{"internal/trace"}) && tracePkg == nil:
+			tracePkg = p
+		case pathInScope(p.Path, []string{"internal/core"}) && corePkg == nil:
+			corePkg = p
+		case pathInScope(p.Path, []string{"internal/mem"}) && memPkg == nil:
+			memPkg = p
+		}
+	}
+	if tracePkg == nil || corePkg == nil {
+		return Fingerprint{}, false
+	}
+	var fp Fingerprint
+	fp.Fset = corePkg.Fset
+
+	var b strings.Builder
+	b.WriteString("emission fingerprint v1\n")
+
+	emuObj := corePkg.Types.Scope().Lookup("EmulatorVersion")
+	if c, ok := emuObj.(*types.Const); ok {
+		fp.EmulatorVersion = constant.StringVal(c.Val())
+		fp.VersionPos = c.Pos()
+	}
+	fmt.Fprintf(&b, "core.EmulatorVersion: %q\n", fp.EmulatorVersion)
+
+	for _, name := range []string{"CodecVersion", "MaxPEs", "NumAreas", "NumObjTypes", "codecChunkRefs", "maxChunkRefs"} {
+		fmt.Fprintf(&b, "trace.%s: %s\n", name, constValue(tracePkg, name))
+	}
+	if memPkg != nil {
+		fmt.Fprintf(&b, "mem.Align: %s\n", constValue(memPkg, "Align"))
+	}
+	b.WriteString(structShape(tracePkg, "Ref"))
+	b.WriteString(enumShape(tracePkg, "Op"))
+	b.WriteString(enumShape(tracePkg, "Area"))
+	b.WriteString(enumShape(tracePkg, "ObjType"))
+	b.WriteString(tableStrings(tracePkg, "areaNames"))
+	b.WriteString(tableStrings(tracePkg, "objTable"))
+
+	fp.Render = b.String()
+	sum := sha256.Sum256([]byte(fp.Render))
+	fp.SHA = hex.EncodeToString(sum[:])
+	if fp.VersionPos == token.NoPos && len(corePkg.Files) > 0 {
+		fp.VersionPos = corePkg.Files[0].Pos()
+	}
+	return fp, true
+}
+
+// constValue renders a package-scope constant's value ("missing" when
+// absent — absence must move the fingerprint too).
+func constValue(pkg *Package, name string) string {
+	if c, ok := pkg.Types.Scope().Lookup(name).(*types.Const); ok {
+		return c.Val().ExactString()
+	}
+	return "missing"
+}
+
+// structShape renders a struct's exact field layout (names and types
+// in order, blanks included — padding is part of the byte layout).
+func structShape(pkg *Package, name string) string {
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return fmt.Sprintf("struct %s.%s: missing\n", pkg.Types.Name(), name)
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return fmt.Sprintf("struct %s.%s: not a struct\n", pkg.Types.Name(), name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s.%s:\n", pkg.Types.Name(), name)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fmt.Fprintf(&b, "  %s %s\n", f.Name(), types.TypeString(f.Type(), func(p *types.Package) string { return p.Name() }))
+	}
+	return b.String()
+}
+
+// enumShape renders the declared enumerators of a named constant type
+// in source order: inserting, removing or reordering one renumbers the
+// values the codec writes.
+func enumShape(pkg *Package, typeName string) string {
+	typeObj := pkg.Types.Scope().Lookup(typeName)
+	if typeObj == nil {
+		return fmt.Sprintf("enum %s.%s: missing\n", pkg.Types.Name(), typeName)
+	}
+	type enumerator struct {
+		name string
+		pos  token.Pos
+	}
+	var es []enumerator
+	scope := pkg.Types.Scope()
+	for _, n := range scope.Names() {
+		if c, ok := scope.Lookup(n).(*types.Const); ok && c.Type() == typeObj.Type() {
+			es = append(es, enumerator{n, c.Pos()})
+		}
+	}
+	for i := 1; i < len(es); i++ { // insertion sort by source position
+		for j := i; j > 0 && es[j-1].pos > es[j].pos; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.name
+	}
+	return fmt.Sprintf("enum %s.%s: %s\n", pkg.Types.Name(), typeName, strings.Join(names, " "))
+}
+
+// tableStrings renders, in order, every string literal inside a
+// package-level composite-literal variable (areaNames, objTable): the
+// names travel into RWT2 headers and must match byte for byte.
+func tableStrings(pkg *Package, varName string) string {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != varName || i >= len(vs.Values) {
+						continue
+					}
+					var lits []string
+					ast.Inspect(vs.Values[i], func(n ast.Node) bool {
+						if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+							lits = append(lits, bl.Value)
+						}
+						return true
+					})
+					return fmt.Sprintf("table %s.%s: %s\n", pkg.Types.Name(), varName, strings.Join(lits, " "))
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("table %s.%s: missing\n", pkg.Types.Name(), varName)
+}
+
+// FingerprintFile renders the checked-in file contents for fp.
+func FingerprintFile(fp Fingerprint) string {
+	var b strings.Builder
+	b.WriteString("# rapwamlint emission fingerprint — regenerate with: go run ./cmd/rapwamlint -write-fingerprint\n")
+	b.WriteString("# A diff in the shapes below means the byte layout of trace emission changed,\n")
+	b.WriteString("# which requires a core.EmulatorVersion bump (stored traces are keyed by it).\n")
+	fmt.Fprintf(&b, "version: %s\n", fp.EmulatorVersion)
+	fmt.Fprintf(&b, "sha256: %s\n", fp.SHA)
+	b.WriteString("---\n")
+	b.WriteString(fp.Render)
+	return b.String()
+}
+
+// WriteFingerprint computes and writes the fingerprint file under
+// moduleRoot, returning its path.
+func WriteFingerprint(pkgs []*Package, moduleRoot string) (string, error) {
+	fp, ok := ComputeFingerprint(pkgs)
+	if !ok {
+		return "", fmt.Errorf("lint: trace and core packages not loaded; run over ./... from the module root")
+	}
+	path := filepath.Join(moduleRoot, filepath.FromSlash(FingerprintPath))
+	if err := os.WriteFile(path, []byte(FingerprintFile(fp)), 0o666); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// parseFingerprintFile extracts the recorded version, sha and shape
+// body from a checked-in fingerprint file.
+func parseFingerprintFile(s string) (version, sha, body string) {
+	head, tail, found := strings.Cut(s, "---\n")
+	if found {
+		body = tail
+	}
+	for _, line := range strings.Split(head, "\n") {
+		if v, ok := strings.CutPrefix(line, "version: "); ok {
+			version = strings.TrimSpace(v)
+		}
+		if v, ok := strings.CutPrefix(line, "sha256: "); ok {
+			sha = strings.TrimSpace(v)
+		}
+	}
+	return version, sha, body
+}
+
+// firstShapeDiff names the first line that differs between the
+// recorded and current shape dumps, for actionable diagnostics.
+func firstShapeDiff(recorded, current string) string {
+	rec := strings.Split(recorded, "\n")
+	cur := strings.Split(current, "\n")
+	for i := 0; i < len(rec) || i < len(cur); i++ {
+		var r, c string
+		if i < len(rec) {
+			r = rec[i]
+		}
+		if i < len(cur) {
+			c = cur[i]
+		}
+		if r != c {
+			if c == "" {
+				return fmt.Sprintf("recorded line %d removed: %q", i+1, r)
+			}
+			return fmt.Sprintf("first changed line: %q (was %q)", strings.TrimSpace(c), strings.TrimSpace(r))
+		}
+	}
+	return "shape dump identical but hash moved"
+}

@@ -317,6 +317,8 @@ func (m *Memory) Region(pe int, area trace.Area) Region {
 // load from the layout's block-classification table. Regions are
 // Align-aligned, so every Align-word block belongs to exactly one
 // (worker, area) pair.
+//
+//rapwam:hotpath
 func (m *Memory) Classify(addr int) (pe int, area trace.Area) {
 	if uint(addr) >= uint(len(m.words)) {
 		return -1, trace.AreaNone
@@ -328,9 +330,12 @@ func (m *Memory) Classify(addr int) (pe int, area trace.Area) {
 // Read returns the word at addr, emitting a read reference attributed
 // to the accessing PE with the given object classification. pe must be
 // a valid worker index (< Layout.Workers).
+//
+//rapwam:hotpath
 func (m *Memory) Read(pe int, addr int, obj trace.ObjType) Word {
 	if m.shards != nil {
 		if s := m.shards[pe]; s != nil {
+			//rapwam:allow hotpath shard staging buffers are reused across epochs, so append amortizes to an indexed store
 			s.Refs = append(s.Refs, Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpRead, Obj: obj})
 			// Atomic load: another shard may be writing this word
 			// concurrently (a cross-shard conflict). The engine detects
@@ -351,9 +356,12 @@ func (m *Memory) Read(pe int, addr int, obj trace.ObjType) Word {
 
 // Write stores w at addr, emitting a write reference. pe must be a
 // valid worker index (< Layout.Workers).
+//
+//rapwam:hotpath
 func (m *Memory) Write(pe int, addr int, w Word, obj trace.ObjType) {
 	if m.shards != nil {
 		if s := m.shards[pe]; s != nil {
+			//rapwam:allow hotpath shard staging buffers are reused across epochs, so append amortizes to an indexed store
 			s.Refs = append(s.Refs, Ref{Addr: uint32(addr), PE: uint8(pe), Op: trace.OpWrite, Obj: obj})
 			// The atomic swap both publishes the write race-cleanly and
 			// captures exactly the word it displaced: even when several
@@ -362,6 +370,7 @@ func (m *Memory) Write(pe int, addr int, w Word, obj trace.ObjType) {
 			// word), which is what lets a conflicted epoch's rollback
 			// recover the base value of a multi-writer word.
 			old := Word(atomic.SwapUint64((*uint64)(&m.words[addr]), uint64(w)))
+			//rapwam:allow hotpath the undo log is a reused per-epoch buffer; append amortizes to an indexed store
 			s.Undo = append(s.Undo, UndoEntry{Addr: uint32(addr), Old: old, New: w})
 			return
 		}

@@ -32,8 +32,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -395,6 +397,9 @@ func (c *ResultCache) remember(hash string, body []byte) {
 func (c *ResultCache) Len() (int, error) {
 	names, err := c.b.List("")
 	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return 0, nil // a never-written namespace is an empty cache
+		}
 		return 0, fmt.Errorf("service: result cache: %w", err)
 	}
 	n := 0

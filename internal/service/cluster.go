@@ -124,6 +124,7 @@ func (c *cluster) ownerOf(hash string) string {
 func (c *cluster) reachable(timeout time.Duration) (up, total int) {
 	total = len(c.others)
 	for _, o := range c.others {
+		//rapwam:allow ctxfirst detached reachability probe: bounded by its own timeout, deliberately independent of any request's lifetime
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		req, err := http.NewRequestWithContext(ctx, http.MethodHead, o+"/v1/blobs/results/", nil)
 		if err == nil {

@@ -766,6 +766,7 @@ func Serve(ctx context.Context, addr string, ln net.Listener, s *Server, drain t
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		//rapwam:allow ctxfirst shutdown drain must outlive the cancelled base context that triggered it
 		sctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		err := hs.Shutdown(sctx)

@@ -1,8 +1,10 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -142,7 +144,7 @@ func (d *Dir) List(prefix string) ([]string, error) {
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil, nil // an absent sub-namespace is empty, not an error
 		}
 		return nil, wrapOp(d.Name(), "list", prefix, err)

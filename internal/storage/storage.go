@@ -189,6 +189,8 @@ func wrapOp(backend, op, name string, err error) error {
 // balancer can drain a node whose disk went read-only before clients
 // hit it. Callers should serialize probes per backend (the name is
 // fixed so concurrent probes would race benignly but report noise).
+//
+//rapwam:allow errortaxonomy health probe reports raw first failure; classification is the healthz caller's job
 func Probe(b Backend) error {
 	const name = "healthz.probe"
 	payload := []byte("probe " + time.Now().UTC().Format(time.RFC3339Nano))

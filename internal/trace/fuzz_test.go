@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzCountSink tallies delivered refs and records any PE outside the
+// header's declared range.
+type fuzzCountSink struct {
+	pes   int
+	n     int64
+	badPE bool
+}
+
+func (s *fuzzCountSink) Add(r Ref) {
+	s.n++
+	if int(r.PE) >= s.pes {
+		s.badPE = true
+	}
+}
+
+// FuzzChunkReader feeds arbitrary bytes to the compact-trace decoder.
+// The decoder's contract under hostile input is: never panic, never
+// loop forever, and either reject the stream with an error or deliver
+// a stream that is internally consistent — every delivered PE within
+// the header's range and the footer totals matching what was actually
+// delivered. The seeds cover the accept path (a valid trace) and the
+// structured-reject paths (truncation, a flipped payload byte, a bare
+// magic, an empty stream).
+func FuzzChunkReader(f *testing.F) {
+	meta := Meta{Benchmark: "fuzz", PEs: 3, EmulatorVersion: "emuF"}
+	refs := make([]Ref, 500)
+	for i := range refs {
+		refs[i] = Ref{
+			Addr: uint32(i*37) & 0x0fffffff,
+			PE:   uint8(i % meta.PEs),
+			Op:   Op(i & 1),
+			Obj:  ObjType(i % int(NumObjTypes)),
+		}
+	}
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, meta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cw.AddBatch(refs)
+	if err := cw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("RWT2"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr, err := NewChunkReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: the only requirement is no panic
+		}
+		declaredPEs := cr.Meta().PEs
+		sink := &fuzzCountSink{pes: declaredPEs}
+		total, err := cr.Replay(sink)
+		if err != nil {
+			return // rejected mid-stream: likewise
+		}
+		if sink.badPE {
+			t.Fatalf("accepted stream delivered a ref with PE >= declared %d", declaredPEs)
+		}
+		if total != sink.n {
+			t.Fatalf("Replay returned %d refs but delivered %d", total, sink.n)
+		}
+		if got := cr.Meta().Refs; got != total {
+			t.Fatalf("accepted stream's meta says %d refs, delivered %d", got, total)
+		}
+	})
+}

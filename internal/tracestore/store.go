@@ -700,6 +700,9 @@ func (s *Store) Scrub() ScrubReport {
 func (s *Store) traceNames() ([]string, error) {
 	names, err := s.b.List("")
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil // a never-written namespace is an empty store
+		}
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
 	var out []string
@@ -712,14 +715,22 @@ func (s *Store) traceNames() ([]string, error) {
 }
 
 // readObjectHeader decodes only the compact header of one object.
+// Misses pass through raw so errors.Is(err, fs.ErrNotExist) keeps
+// working; backend failures gain store context.
 func (s *Store) readObjectHeader(name string) (trace.Meta, int64, error) {
 	info, err := s.b.Stat(name)
 	if err != nil {
-		return trace.Meta{}, 0, err
+		if errors.Is(err, fs.ErrNotExist) {
+			return trace.Meta{}, 0, err
+		}
+		return trace.Meta{}, 0, fmt.Errorf("tracestore: header %s: %w", name, err)
 	}
 	rc, err := s.b.Get(name)
 	if err != nil {
-		return trace.Meta{}, info.Size, err
+		if errors.Is(err, fs.ErrNotExist) {
+			return trace.Meta{}, info.Size, err
+		}
+		return trace.Meta{}, info.Size, fmt.Errorf("tracestore: header %s: %w", name, err)
 	}
 	defer rc.Close()
 	cr, err := trace.NewChunkReader(rc)
@@ -729,10 +740,18 @@ func (s *Store) readObjectHeader(name string) (trace.Meta, int64, error) {
 	return cr.Meta(), info.Size, nil
 }
 
-// verifyObject fully decodes one stored trace.
+// verifyObject fully decodes one stored trace. An object that
+// vanished between listing and reading (a concurrent sweep, delete or
+// quarantine) is a transient condition, not corruption: without the
+// classification, Scrub's transient gate would miss the raw
+// fs.ErrNotExist and try to quarantine an object that no longer
+// exists.
 func (s *Store) verifyObject(name string) error {
 	rc, err := s.b.Get(name)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return storage.Transient(err)
+		}
 		return err
 	}
 	defer rc.Close()
